@@ -1,0 +1,82 @@
+"""Ablation: empirically validate the advisor's tuple-ratio thresholds.
+
+The join-safety advisor (repro.core.advisor) hard-codes the paper's
+empirical thresholds: trees ~3x, RBF-SVM ~6x, 1-NN ~100x.  This
+ablation measures, on the OneXr worst case, the JoinAll-NoJoin error
+gap as a function of the tuple ratio for all three model families and
+checks that the ratio at which each family's gap exceeds a 0.02
+tolerance is ordered tree <= RBF-SVM <= 1-NN — the ordering the
+advisor's constants encode.
+"""
+
+import numpy as np
+
+from repro.datasets import OneXrScenario
+from repro.experiments import sweep
+
+from conftest import (
+    SIM_STRATEGIES,
+    figure_from_sweep,
+    nn1_factory,
+    run_once,
+    svm_factory,
+    tree_factory,
+)
+
+GAP_TOLERANCE = 0.02
+
+
+def deviation_ratio(figure, ratios):
+    """Smallest tuple ratio at which NoJoin still tracks JoinAll."""
+    join_all = np.asarray(figure.series["JoinAll"])
+    no_join = np.asarray(figure.series["NoJoin"])
+    gaps = np.abs(no_join - join_all)
+    safe = [r for r, gap in zip(ratios, gaps) if gap <= GAP_TOLERANCE]
+    return min(safe) if safe else float("inf")
+
+
+def test_ablation_tuple_ratio_thresholds(benchmark, scale):
+    n_train = scale.sim_n_train
+    # Tuple ratios from generous to hopeless, realised by varying n_r.
+    ratios = [50, 12, 6, 3, 1.5]
+    n_r_values = [max(2, int(round(n_train / r))) for r in ratios]
+
+    def build():
+        figures = {}
+        for label, factory in (
+            ("tree", tree_factory),
+            ("rbf", svm_factory),
+            ("1nn", nn1_factory),
+        ):
+            results = sweep(
+                lambda n_r: OneXrScenario(n_train=n_train, n_r=n_r, p=0.1),
+                values=n_r_values,
+                model_factory=factory,
+                strategies=SIM_STRATEGIES,
+                n_runs=scale.mc_runs,
+                seed=0,
+            )
+            figures[label] = figure_from_sweep(
+                f"Ablation: JoinAll vs NoJoin across tuple ratios ({label})",
+                "n_r",
+                results,
+            )
+        return figures
+
+    figures = run_once(benchmark, build)
+    for figure in figures.values():
+        print("\n" + figure.render())
+
+    actual_ratios = [n_train / n_r for n_r in n_r_values]
+    safe_floor = {
+        label: deviation_ratio(figure, actual_ratios)
+        for label, figure in figures.items()
+    }
+    print("\nsmallest safe tuple ratio per family:", safe_floor)
+
+    # The stability ordering the advisor encodes.
+    assert safe_floor["tree"] <= safe_floor["rbf"] + 1e-9
+    assert safe_floor["rbf"] <= safe_floor["1nn"] + 1e-9
+
+    # The tree tolerates ratios at (or below) the advisor's 3x constant.
+    assert safe_floor["tree"] <= 3.5

@@ -1,0 +1,82 @@
+"""Ablation: decision-tree unseen-level policies vs explicit smoothing.
+
+The paper reports (Section 6.2) that R's tree packages crash on FK
+levels unseen during training.  Our tree exposes three policies
+(``error`` / ``majority`` / ``random``) and the smoothing module offers
+the principled fix.  This ablation quantifies the accuracy ladder on an
+OneXr setting with 40% of the FK domain held out of training:
+
+    error (crash) < random routing <= majority routing <= X_R smoothing
+
+and verifies the crash actually happens under ``error``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ForeignFeatureSmoother, no_join_strategy
+from repro.datasets import OneXrScenario
+from repro.errors import UnseenCategoryError
+from repro.ml import DecisionTreeClassifier
+from repro.ml.metrics import accuracy
+
+from conftest import run_once
+
+
+def test_ablation_unseen_policies(benchmark, scale):
+    scenario = OneXrScenario(
+        n_train=scale.sim_n_train, n_r=50, d_s=2, d_r=3, p=0.1
+    )
+
+    def build():
+        population = scenario.population(seed=0)
+        rng = np.random.default_rng(1)
+        allowed = np.arange(30)  # 40% of the domain unseen in training
+        train = population.draw(rng, scenario.n_train, fk_subset=allowed)
+        validation = population.draw(rng, 100, fk_subset=allowed)
+        test = population.draw(rng, 200)
+        dataset = population.dataset(train, validation, test)
+        matrices = no_join_strategy().matrices(dataset)
+
+        outcomes = {}
+        for policy in ("majority", "random"):
+            tree = DecisionTreeClassifier(
+                minsplit=10, cp=0.001, unseen=policy, random_state=0
+            ).fit(matrices.X_train, matrices.y_train)
+            outcomes[policy] = accuracy(
+                matrices.y_test, tree.predict(matrices.X_test)
+            )
+
+        # The error policy reproduces the R crash.
+        strict = DecisionTreeClassifier(
+            minsplit=10, cp=0.001, unseen="error", random_state=0
+        ).fit(matrices.X_train, matrices.y_train)
+        crashed = False
+        try:
+            strict.predict(matrices.X_test)
+        except UnseenCategoryError:
+            crashed = True
+        outcomes["error_crashes"] = crashed
+
+        # X_R smoothing on top of the strict tree.
+        xr_codes = np.stack([c.codes for c in population.dim_columns], axis=1)
+        smoother = ForeignFeatureSmoother(xr_codes, seed=0).fit(
+            train.fk_codes, n_levels=scenario.n_r
+        )
+        smoothed_test = smoother.smooth_feature(matrices.X_test, "FK")
+        outcomes["xr_smoothing"] = accuracy(
+            matrices.y_test, strict.predict(smoothed_test)
+        )
+        return outcomes
+
+    outcomes = run_once(benchmark, build)
+    print("\nAblation: unseen-FK handling (NoJoin gini tree, gamma=0.4)")
+    for key, value in outcomes.items():
+        print(f"  {key:14s}: {value}")
+
+    assert outcomes["error_crashes"] is True
+    # The principled fix is at least as good as blind routing.
+    assert outcomes["xr_smoothing"] >= outcomes["majority"] - 0.02
+    assert outcomes["xr_smoothing"] >= outcomes["random"] - 0.02
+    # And everything beats coin-flipping.
+    assert outcomes["xr_smoothing"] > 0.6

@@ -1,0 +1,52 @@
+"""Figure 11: unseen-foreign-key smoothing on the OneXr scenario.
+
+A fraction gamma of the FK domain is held out of training; unseen test
+levels are reassigned by (A) random smoothing or (B) the X_R-based
+minimum-l0 method before prediction with a gini tree.
+
+Shape checks: X_R-based smoothing beats random reassignment for
+NoJoin/JoinAll at moderate gamma (it exploits the true X_r signal), both
+methods degrade as gamma approaches 1, and NoFK is immune to gamma (it
+uses no FK feature).
+"""
+
+import numpy as np
+
+from repro.datasets import OneXrScenario
+from repro.experiments.fk_experiments import run_smoothing_experiment
+
+from conftest import run_once
+
+GAMMAS = [0.0, 0.25, 0.5, 0.75]
+
+
+def test_figure11_fk_smoothing(benchmark, scale):
+    scenario = OneXrScenario(
+        n_train=scale.sim_n_train, n_r=60, d_s=2, d_r=4, p=0.1
+    )
+
+    def build():
+        return run_smoothing_experiment(
+            scenario,
+            gammas=GAMMAS,
+            n_runs=max(2, scale.mc_runs // 2),
+            seed=0,
+        )
+
+    figures = run_once(benchmark, build)
+    for figure in figures.values():
+        print("\n" + figure.render())
+
+    random_nojoin = figures["random"].series["NoJoin"]
+    xr_nojoin = figures["xr"].series["NoJoin"]
+
+    # X_R-based smoothing <= random smoothing error at moderate gamma.
+    mid = len(GAMMAS) // 2
+    assert float(np.mean(xr_nojoin[1:])) <= float(np.mean(random_nojoin[1:])) + 0.01
+
+    # Errors rise with gamma for the random smoother.
+    assert random_nojoin[-1] >= random_nojoin[0] - 0.02
+
+    # NoFK is unaffected by gamma (no FK feature to smooth).
+    nofk = figures["random"].series["NoFK"]
+    assert max(nofk) - min(nofk) < 0.08

@@ -1,0 +1,72 @@
+"""Figure 2: OneXr simulation sweeps for the gini decision tree.
+
+Six panels sweep one generative parameter at a time around the base
+point (n_S, n_R, d_S, d_R) = (1000, 40, 4, 4), p = 0.1 (scaled down by
+the profile): (A) training examples, (B) foreign-key domain size,
+(C) home features, (D) foreign features, (E) the probability parameter,
+(F) the X_r domain size.
+
+Shape check per panel: NoJoin's error hugs JoinAll's — the paper finds
+gaps under 0.01 almost everywhere for the tree, even at tuple ratios
+linear models cannot survive.
+"""
+
+import pytest
+
+from repro.datasets import OneXrScenario
+from repro.experiments import sweep
+
+from conftest import SIM_STRATEGIES, figure_from_sweep, run_once, tree_factory
+
+
+def _panels(scale):
+    base = dict(n_train=scale.sim_n_train, n_r=40, d_s=4, d_r=4, p=0.1)
+
+    def scenario(**overrides):
+        return OneXrScenario(**{**base, **overrides})
+
+    return {
+        "A:n_train": ([100, 300, scale.sim_n_train, 2 * scale.sim_n_train],
+                      lambda v: scenario(n_train=v)),
+        "B:n_r": ([2, 10, 50, 200], lambda v: scenario(n_r=v)),
+        "C:d_s": ([1, 4, 10], lambda v: scenario(d_s=v)),
+        "D:d_r": ([1, 4, 10], lambda v: scenario(d_r=v)),
+        "E:p": ([0.0, 0.1, 0.3, 0.5], lambda v: scenario(p=v)),
+        "F:xr_domain": ([2, 10, 40], lambda v: scenario(xr_domain_size=v)),
+    }
+
+
+def test_figure2_onexr_tree_sweeps(benchmark, scale):
+    def build():
+        figures = {}
+        for panel, (values, factory) in _panels(scale).items():
+            results = sweep(
+                factory,
+                values=values,
+                model_factory=tree_factory,
+                strategies=SIM_STRATEGIES,
+                n_runs=scale.mc_runs,
+                seed=0,
+            )
+            figures[panel] = figure_from_sweep(
+                f"Figure 2({panel}): OneXr avg test error (gini tree)",
+                panel.split(":")[1],
+                results,
+            )
+        return figures
+
+    figures = run_once(benchmark, build)
+    for panel, figure in figures.items():
+        print("\n" + figure.render())
+
+    # NoJoin tracks JoinAll tightly in every panel except possibly the
+    # lowest-tuple-ratio corner of panel B.
+    for panel, figure in figures.items():
+        gap = figure.max_gap("JoinAll", "NoJoin")
+        limit = 0.06 if panel.startswith("B") else 0.04
+        assert gap < limit, (panel, gap)
+
+    # Panel E: error rises towards p = 0.5 (the Bayes error curve).
+    panel_e = figures["E:p"].series["NoJoin"]
+    assert panel_e[0] < panel_e[-1] + 0.02
+    assert panel_e[-1] == pytest.approx(0.5, abs=0.1)

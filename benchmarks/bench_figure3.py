@@ -1,0 +1,47 @@
+"""Figure 3: OneXr |D_FK| sweep for 1-NN (A) and RBF-SVM (B).
+
+Same setup as Figure 2(B) but with the two kernel-distance models.
+Shape checks: the RBF-SVM's NoJoin curve deviates from JoinAll only at
+low tuple ratios, while the unstable 1-NN deviates much earlier and by
+much more — the stability ordering 1-NN << RBF-SVM that Section 5's
+analysis explains.
+"""
+
+from conftest import figure_from_sweep, run_once
+
+
+def test_figure3_onexr_1nn_and_rbf(
+    benchmark, scale, onexr_nr_sweep_1nn, onexr_nr_sweep_rbf
+):
+    def build():
+        return {
+            "A:1nn": figure_from_sweep(
+                "Figure 3(A): OneXr avg test error vs |D_FK| (1-NN)",
+                "n_r",
+                onexr_nr_sweep_1nn,
+            ),
+            "B:rbf": figure_from_sweep(
+                "Figure 3(B): OneXr avg test error vs |D_FK| (RBF-SVM)",
+                "n_r",
+                onexr_nr_sweep_rbf,
+            ),
+        }
+
+    figures = run_once(benchmark, build)
+    for figure in figures.values():
+        print("\n" + figure.render())
+
+    gap_1nn = figures["A:1nn"].max_gap("JoinAll", "NoJoin")
+    gap_rbf = figures["B:rbf"].max_gap("JoinAll", "NoJoin")
+    print(f"\nmax JoinAll-NoJoin gap: 1-NN {gap_1nn:.4f}, RBF-SVM {gap_rbf:.4f}")
+
+    # 1-NN is far less stable than the RBF-SVM under NoJoin.
+    assert gap_1nn > gap_rbf
+
+    # The 1-NN deviation is substantial at large |D_FK| (paper: the
+    # curves separate from n_R ~ 10 onward).
+    last_gap = abs(
+        figures["A:1nn"].series["JoinAll"][-1]
+        - figures["A:1nn"].series["NoJoin"][-1]
+    )
+    assert last_gap > 0.05

@@ -1,0 +1,54 @@
+"""Figure 4: average net variance in OneXr for 1-NN (A) and RBF-SVM (B).
+
+The Domingos net variance across Monte Carlo runs quantifies the extra
+overfitting NoJoin may cause.  Shape check: NoJoin's net variance for
+1-NN exceeds the RBF-SVM's — the deviation in Figure 3 is a variance
+phenomenon, as the paper argues.
+"""
+
+import pytest
+
+from conftest import figure_from_sweep, run_once
+
+
+def test_figure4_net_variance(
+    benchmark, scale, onexr_nr_sweep_1nn, onexr_nr_sweep_rbf
+):
+    def build():
+        return {
+            "A:1nn": figure_from_sweep(
+                "Figure 4(A): OneXr avg net variance vs |D_FK| (1-NN)",
+                "n_r",
+                onexr_nr_sweep_1nn,
+                metric="net_variance",
+            ),
+            "B:rbf": figure_from_sweep(
+                "Figure 4(B): OneXr avg net variance vs |D_FK| (RBF-SVM)",
+                "n_r",
+                onexr_nr_sweep_rbf,
+                metric="net_variance",
+            ),
+        }
+
+    figures = run_once(benchmark, build)
+    for figure in figures.values():
+        print("\n" + figure.render())
+
+    # The NoJoin net variance of 1-NN dominates the RBF-SVM's at the
+    # large-|D_FK| end of the sweep.
+    nn1_tail = figures["A:1nn"].series["NoJoin"][-1]
+    rbf_tail = figures["B:rbf"].series["NoJoin"][-1]
+    print(f"\ntail NoJoin net variance: 1-NN {nn1_tail:.4f}, RBF {rbf_tail:.4f}")
+    assert nn1_tail >= rbf_tail - 0.01
+
+    # Net variances are small where the tuple ratio is generous.
+    assert abs(figures["B:rbf"].series["NoJoin"][0]) < 0.1
+
+    # Sanity: every decomposition is internally consistent
+    # (net variance = unbiased - biased component, all probabilities).
+    for _, result in onexr_nr_sweep_rbf:
+        for name, d in result.decompositions.items():
+            assert d.net_variance == pytest.approx(
+                d.unbiased_variance - d.biased_variance
+            ), name
+            assert 0.0 <= d.bias <= 1.0

@@ -1,0 +1,76 @@
+"""Figure 6: XSXR simulation sweeps for the gini decision tree.
+
+The noiseless true-probability-table scenario where Y is a deterministic
+function of [X_S, X_R].  Four panels: (A) training examples,
+(B) foreign-key domain size, (C) foreign features, (D) home features.
+
+Shape checks: NoJoin stays close to JoinAll everywhere (paper: largest
+gap 0.017), and NoFK keeps low errors as |D_FK| grows in panel B while
+JoinAll/NoJoin drift up — NoFK knows FK is not part of the true
+distribution.
+"""
+
+from repro.datasets import XSXRScenario
+from repro.experiments import sweep
+
+from conftest import SIM_STRATEGIES, figure_from_sweep, run_once, tree_factory
+
+
+def _panels(scale):
+    n_train = scale.sim_n_train
+    return {
+        "A:n_train": (
+            [100, 300, n_train, 2 * n_train],
+            lambda v: XSXRScenario(n_train=v, n_r=40, d_s=4, d_r=4),
+        ),
+        "B:n_r": (
+            [2, 10, 50, 200],
+            lambda v: XSXRScenario(n_train=n_train, n_r=v, d_s=4, d_r=4),
+        ),
+        "C:d_r": (
+            [1, 4, 8],
+            lambda v: XSXRScenario(n_train=n_train, n_r=40, d_s=4, d_r=v),
+        ),
+        "D:d_s": (
+            [1, 4, 8],
+            lambda v: XSXRScenario(n_train=n_train, n_r=40, d_s=v, d_r=4),
+        ),
+    }
+
+
+def test_figure6_xsxr_tree_sweeps(benchmark, scale):
+    def build():
+        figures = {}
+        for panel, (values, factory) in _panels(scale).items():
+            results = sweep(
+                factory,
+                values=values,
+                model_factory=tree_factory,
+                strategies=SIM_STRATEGIES,
+                n_runs=scale.mc_runs,
+                seed=0,
+            )
+            figures[panel] = figure_from_sweep(
+                f"Figure 6({panel}): XSXR avg test error (gini tree)",
+                panel.split(":")[1],
+                results,
+            )
+        return figures
+
+    figures = run_once(benchmark, build)
+    for figure in figures.values():
+        print("\n" + figure.render())
+
+    # NoJoin tracks JoinAll in every panel.
+    for panel, figure in figures.items():
+        gap = figure.max_gap("JoinAll", "NoJoin")
+        assert gap < 0.06, (panel, gap)
+
+    # Panel B: at the largest |D_FK| (tuple ratio ~3), NoFK's error is
+    # no worse than NoJoin's — FK is not in the true distribution here.
+    panel_b = figures["B:n_r"]
+    assert panel_b.series["NoFK"][-1] <= panel_b.series["NoJoin"][-1] + 0.03
+
+    # Panel A: more training data shrinks every strategy's error.
+    for name, ys in figures["A:n_train"].series.items():
+        assert ys[-1] <= ys[0] + 0.02, name

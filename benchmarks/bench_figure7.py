@@ -1,0 +1,53 @@
+"""Figures 7-9: RepOneXr sweeps for tree, RBF-SVM, and 1-NN.
+
+The replicated-X_r scenario tries to "confuse" NoJoin by inflating the
+number of FK values per distinct X_R vector.  Panel (A) varies d_R at a
+generous tuple ratio (n_R = 40); panel (B) at a tight one (n_R = 200,
+ratio ~3 at the default profile).
+
+This file covers Figure 7 (decision tree); Figures 8 and 9 live in
+bench_figure8.py / bench_figure9.py with the same panels.
+
+Shape check: the tree's JoinAll and NoJoin curves coincide in both
+panels despite the replication trap.
+"""
+
+from repro.datasets import RepOneXrScenario
+from repro.experiments import sweep
+
+from conftest import SIM_STRATEGIES, figure_from_sweep, run_once, tree_factory
+
+D_R_VALUES = [1, 6, 11, 16]
+
+
+def repomexr_panels(scale, model_factory):
+    """Shared driver for Figures 7-9: d_R sweeps at two tuple ratios."""
+    n_train = scale.sim_n_train
+    figures = {}
+    for panel, n_r in (("A:ratio25", 40), ("B:ratio5", max(40, n_train // 3))):
+        results = sweep(
+            lambda d_r: RepOneXrScenario(
+                n_train=n_train, n_r=n_r, d_s=4, d_r=d_r, p=0.1
+            ),
+            values=D_R_VALUES,
+            model_factory=model_factory,
+            strategies=SIM_STRATEGIES,
+            n_runs=scale.mc_runs,
+            seed=0,
+        )
+        figures[panel] = figure_from_sweep(
+            f"RepOneXr({panel}, n_r={n_r}): avg test error vs d_R",
+            "d_r",
+            results,
+        )
+    return figures
+
+
+def test_figure7_repomexr_tree(benchmark, scale):
+    figures = run_once(benchmark, lambda: repomexr_panels(scale, tree_factory))
+    for figure in figures.values():
+        print("\n" + figure.render())
+
+    # The tree resists the replication trap at both tuple ratios.
+    assert figures["A:ratio25"].max_gap("JoinAll", "NoJoin") < 0.04
+    assert figures["B:ratio5"].max_gap("JoinAll", "NoJoin") < 0.06

@@ -1,0 +1,24 @@
+"""Figure 8: RepOneXr sweeps for the RBF-SVM (same panels as Figure 7).
+
+Shape check: the RBF-SVM tracks JoinAll at the generous tuple ratio and
+deviates only modestly at the tight one (the paper: deviation starts
+around ratio ~5).
+"""
+
+from conftest import run_once, svm_factory
+from bench_figure7 import repomexr_panels
+
+
+def test_figure8_repomexr_rbf(benchmark, scale):
+    figures = run_once(benchmark, lambda: repomexr_panels(scale, svm_factory))
+    for figure in figures.values():
+        print("\n" + figure.render())
+
+    generous_gap = figures["A:ratio25"].max_gap("JoinAll", "NoJoin")
+    tight_gap = figures["B:ratio5"].max_gap("JoinAll", "NoJoin")
+    print(f"\nmax gaps: generous {generous_gap:.4f}, tight {tight_gap:.4f}")
+
+    # Generous tuple ratio: essentially no deviation.
+    assert generous_gap < 0.08
+    # Deviation grows (or at least does not shrink) as the ratio tightens.
+    assert tight_gap >= generous_gap - 0.02

@@ -1,0 +1,29 @@
+"""Figure 9: RepOneXr sweeps for 1-NN (same panels as Figure 7).
+
+Shape check: 1-NN is the least stable model — its NoJoin deviation
+exceeds the decision tree's even at the generous tuple ratio (the paper
+sees 1-NN deviate already at ratio 25).
+"""
+
+from conftest import nn1_factory, run_once, tree_factory
+from bench_figure7 import repomexr_panels
+
+
+def test_figure9_repomexr_1nn(benchmark, scale):
+    def build():
+        return {
+            "nn1": repomexr_panels(scale, nn1_factory),
+            "tree": repomexr_panels(scale, tree_factory),
+        }
+
+    figures = run_once(benchmark, build)
+    for figure in figures["nn1"].values():
+        print("\n" + figure.render())
+
+    nn1_gap = figures["nn1"]["A:ratio25"].max_gap("JoinAll", "NoJoin")
+    tree_gap = figures["tree"]["A:ratio25"].max_gap("JoinAll", "NoJoin")
+    print(f"\nmax generous-ratio gaps: 1-NN {nn1_gap:.4f}, tree {tree_gap:.4f}")
+
+    # The stability ordering of Section 4.3: 1-NN deviates more than the
+    # tree under NoJoin.
+    assert nn1_gap >= tree_gap

@@ -1,0 +1,49 @@
+"""Table 1: dataset statistics of the seven emulated datasets.
+
+Regenerates the paper's Table 1 — n_S, d_S, q, per-dimension (n_R, d_R)
+and the tuple ratio — from the emulators, and checks the schema shapes
+and tuple ratios the rest of the study depends on.
+"""
+
+import pytest
+
+from repro.datasets import dataset_statistics, generate_real_world
+from repro.datasets.realworld import DATASET_ORDER, REAL_WORLD_SPECS
+
+from conftest import run_once
+
+
+def test_table1_dataset_statistics(benchmark, scale):
+    def build():
+        datasets = {
+            name: generate_real_world(name, n_fact=scale.n_fact, seed=0)
+            for name in DATASET_ORDER
+        }
+        return {name: dataset_statistics(ds) for name, ds in datasets.items()}
+
+    stats = run_once(benchmark, build)
+
+    print("\nTable 1: dataset statistics (emulated, scaled)")
+    for name in DATASET_ORDER:
+        print(f"  {stats[name]}")
+
+    # Paper shapes: q per dataset and the open-FK N/A cell for Expedia.
+    assert stats["flights"].q == 3
+    for name in DATASET_ORDER:
+        expected_q = len(REAL_WORLD_SPECS[name].dimensions)
+        assert stats[name].q == expected_q
+    expedia_ratios = {d[0]: d[3] for d in stats["expedia"].dimensions}
+    assert expedia_ratios["searches"] is None  # the paper's N/A
+
+    # Tuple ratios preserved within 20% of Table 1 for closed-FK dims.
+    expected_ratios = {
+        ("yelp", "users"): 9.4,
+        ("yelp", "businesses"): 2.5,
+        ("lastfm", "artists"): 3.5,
+        ("books", "books"): 2.6,
+        ("movies", "users"): 82.8,
+        ("flights", "src_airports"): 10.5,
+    }
+    for (name, dim), expected in expected_ratios.items():
+        got = {d[0]: d[3] for d in stats[name].dimensions}[dim]
+        assert got == pytest.approx(expected, rel=0.2), (name, dim)

@@ -1,0 +1,58 @@
+"""Table 3: holdout test accuracy — SVMs, ANN, Naive Bayes, logistic regression.
+
+JoinAll vs NoJoin for the three SVM kernels, the MLP, Naive Bayes with
+backward selection, and L1 logistic regression, across all seven
+datasets.
+
+Shape check: NoJoin tracks JoinAll for the high-capacity models at least
+as well as for the linear ones — the paper's headline result.
+"""
+
+import numpy as np
+
+from repro.datasets.realworld import DATASET_ORDER
+from repro.experiments import AccuracyTable
+
+from conftest import run_once
+
+MODELS = ["svm_linear", "svm_quadratic", "svm_rbf", "ann", "nb_bfs", "lr_l1"]
+
+
+def test_table3_svm_ann_nb_lr(benchmark, store):
+    def build():
+        table = AccuracyTable(
+            caption="Table 3: holdout test accuracy (SVMs, ANN, NB, LR)"
+        )
+        for name in DATASET_ORDER:
+            for model in MODELS:
+                for strategy in ("JoinAll", "NoJoin"):
+                    result = store.run(name, model, strategy)
+                    table.record(name, result.model, strategy,
+                                 result.test_accuracy)
+        return table
+
+    table = run_once(benchmark, build)
+    print("\n" + table.render())
+
+    def mean_gap(display: str) -> float:
+        gaps = [
+            table.get(name, display, "JoinAll") - table.get(name, display, "NoJoin")
+            for name in DATASET_ORDER
+        ]
+        return float(np.mean(gaps))
+
+    rbf_gap = mean_gap("SVM (RBF)")
+    ann_gap = mean_gap("ANN")
+    nb_gap = mean_gap("Naive Bayes (BFS)")
+    lr_gap = mean_gap("Logistic Regression (L1)")
+    print(
+        f"\nmean JoinAll-NoJoin gaps: rbf={rbf_gap:.4f} ann={ann_gap:.4f} "
+        f"nb={nb_gap:.4f} lr={lr_gap:.4f}"
+    )
+
+    # Avoiding joins must be roughly accuracy-neutral for every family;
+    # high-capacity families must not be *less* robust than linear ones.
+    for display in ("SVM (RBF)", "ANN", "SVM (Polynomial)", "SVM (Linear)"):
+        assert mean_gap(display) < 0.03, display
+    assert rbf_gap <= max(nb_gap, lr_gap) + 0.02
+    assert ann_gap <= max(nb_gap, lr_gap) + 0.02

@@ -1,0 +1,53 @@
+"""Table 5: training accuracy for the Table 2 models (trees + 1-NN).
+
+Reuses the cached Table 2 runs; the new information is the train-side
+view.  Shape checks: 1-NN memorises its training set (accuracy ~1), and
+NoJoin does not widen the trees' generalisation gap — Section 5's
+observation that discarding foreign features leaves the generalisation
+error essentially unchanged.
+"""
+
+import numpy as np
+
+from repro.datasets.realworld import DATASET_ORDER
+from repro.experiments import AccuracyTable
+
+from conftest import run_once
+
+TREES = ["dt_gini", "dt_entropy", "dt_gain_ratio"]
+
+
+def test_table5_training_accuracy_trees(benchmark, store):
+    def build():
+        table = AccuracyTable(caption="Table 5: training accuracy (trees + 1-NN)")
+        for name in DATASET_ORDER:
+            for model in TREES:
+                for strategy in ("JoinAll", "NoJoin", "NoFK"):
+                    result = store.run(name, model, strategy)
+                    table.record(name, result.model, strategy,
+                                 result.train_accuracy)
+            for strategy in ("JoinAll", "NoJoin"):
+                result = store.run(name, "nn1", strategy)
+                table.record(name, result.model, strategy, result.train_accuracy)
+        return table
+
+    table = run_once(benchmark, build)
+    print("\n" + table.render())
+
+    # 1-NN training accuracy is ~1 when training rows are distinct (each
+    # point is its own nearest neighbour) — the paper's Table 5 shows
+    # 0.98-1.0 everywhere.  At our reduced scale only the datasets with
+    # rich feature spaces avoid duplicate feature vectors with
+    # conflicting labels; check those.
+    for name in ("flights", "expedia"):
+        assert table.get(name, "1-NN", "JoinAll") >= 0.95
+        assert table.get(name, "1-NN", "NoJoin") >= 0.95
+
+    # NoJoin leaves the trees' generalisation gap essentially unchanged:
+    # train accuracies of JoinAll and NoJoin stay close on average.
+    gini = "Decision Tree (Gini)"
+    gaps = [
+        abs(table.get(name, gini, "JoinAll") - table.get(name, gini, "NoJoin"))
+        for name in DATASET_ORDER
+    ]
+    assert float(np.mean(gaps)) < 0.02, gaps

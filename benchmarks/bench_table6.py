@@ -1,0 +1,47 @@
+"""Table 6: training accuracy for the Table 3 models (SVMs, ANN, NB, LR).
+
+Reuses the cached Table 3 runs.  Shape check: as on the test side,
+NoJoin's training accuracy tracks JoinAll's for every model family,
+i.e. avoiding the join does not change how hard the models fit the
+training data.
+"""
+
+import numpy as np
+
+from repro.datasets.realworld import DATASET_ORDER
+from repro.experiments import AccuracyTable
+
+from conftest import run_once
+
+MODELS = ["svm_linear", "svm_quadratic", "svm_rbf", "ann", "nb_bfs", "lr_l1"]
+
+
+def test_table6_training_accuracy_svm_ann(benchmark, store):
+    def build():
+        table = AccuracyTable(
+            caption="Table 6: training accuracy (SVMs, ANN, NB, LR)"
+        )
+        for name in DATASET_ORDER:
+            for model in MODELS:
+                for strategy in ("JoinAll", "NoJoin"):
+                    result = store.run(name, model, strategy)
+                    table.record(name, result.model, strategy,
+                                 result.train_accuracy)
+        return table
+
+    table = run_once(benchmark, build)
+    print("\n" + table.render())
+
+    for model_key, display in (
+        ("svm_rbf", "SVM (RBF)"),
+        ("ann", "ANN"),
+        ("lr_l1", "Logistic Regression (L1)"),
+    ):
+        gaps = [
+            abs(
+                table.get(name, display, "JoinAll")
+                - table.get(name, display, "NoJoin")
+            )
+            for name in DATASET_ORDER
+        ]
+        assert float(np.mean(gaps)) < 0.04, (display, gaps)

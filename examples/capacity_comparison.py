@@ -1,0 +1,56 @@
+"""Capacity comparison: is NoJoin riskier for high-capacity models?
+
+The paper's central question.  On the Yelp emulator - the one dataset
+whose dimension (businesses, tuple ratio 2.5) is genuinely unsafe to
+avoid - we train a linear model and three high-capacity models under
+JoinAll and NoJoin and compare the accuracy drops.  VC-dimension
+intuition says the high-capacity models should suffer more; the paper
+(and this script) find the opposite.
+
+Run:  python examples/capacity_comparison.py
+"""
+
+from repro.core import join_all_strategy, no_join_strategy
+from repro.datasets import generate_real_world
+from repro.experiments import SMOKE, run_experiment
+
+MODELS = [
+    ("lr_l1", "linear"),
+    ("dt_gini", "high-capacity"),
+    ("svm_rbf", "high-capacity"),
+    ("ann", "high-capacity"),
+]
+
+
+def main() -> None:
+    dataset = generate_real_world("yelp", n_fact=1600, seed=0)
+    print(f"Dataset: {dataset}")
+    ratios = dataset.metadata["tuple_ratios"]
+    print(
+        "Tuple ratios: "
+        + ", ".join(f"{k}={v:.1f}" for k, v in ratios.items())
+    )
+    print()
+
+    print(f"{'model':10s} {'capacity':14s} {'JoinAll':>8s} {'NoJoin':>8s} {'drop':>8s}")
+    drops = {}
+    for model_key, capacity in MODELS:
+        join_all = run_experiment(dataset, model_key, join_all_strategy(), scale=SMOKE)
+        no_join = run_experiment(dataset, model_key, no_join_strategy(), scale=SMOKE)
+        drop = join_all.test_accuracy - no_join.test_accuracy
+        drops[model_key] = drop
+        print(
+            f"{model_key:10s} {capacity:14s} "
+            f"{join_all.test_accuracy:8.4f} {no_join.test_accuracy:8.4f} "
+            f"{drop:+8.4f}"
+        )
+    print()
+    print(
+        "On a low-tuple-ratio dataset avoiding the join costs accuracy, "
+        "but the high-capacity models typically lose no more than the "
+        "linear model - refuting the VC-dimension intuition."
+    )
+
+
+if __name__ == "__main__":
+    main()

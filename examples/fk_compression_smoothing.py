@@ -1,0 +1,100 @@
+"""Making foreign-key features practical: compression and smoothing.
+
+Section 6 of the paper tackles the two operational pains of large FK
+domains.  This example demonstrates both remedies on live data:
+
+1. **Domain compression** — squeeze a many-level FK feature into a small
+   budget with the random hashing trick vs the supervised sort-based
+   method, and watch the decision tree stay accurate (and become
+   renderable).
+2. **Smoothing** — hold out part of the FK domain from training, show
+   that the default tree configuration refuses to predict (reproducing
+   the R crash), then fix it with random and X_R-based smoothing.
+
+Run:  python examples/fk_compression_smoothing.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ForeignFeatureSmoother,
+    RandomSmoother,
+    no_join_strategy,
+)
+from repro.datasets import OneXrScenario, generate_real_world
+from repro.errors import UnseenCategoryError
+from repro.experiments.fk_experiments import run_compression_experiment
+from repro.ml import DecisionTreeClassifier
+from repro.ml.metrics import accuracy
+from repro.ml.tree import render_tree
+
+
+def compression_demo() -> None:
+    print("=== 1. FK domain compression (Figure 10 setup) ===")
+    dataset = generate_real_world("flights", n_fact=1200, seed=0)
+    figure = run_compression_experiment(dataset, budgets=[5, 15, 40], seed=0)
+    print(figure.render())
+    print()
+
+    # Interpretability payoff: a tree over a compressed FK is readable.
+    matrices = no_join_strategy().matrices(dataset)
+    tree = DecisionTreeClassifier(
+        criterion="gini", minsplit=50, cp=0.01, unseen="majority", random_state=0
+    ).fit(matrices.X_train, matrices.y_train)
+    print("Tree over raw FK domains (truncated to depth 2):")
+    print(render_tree(tree, max_depth=2))
+    print()
+
+
+def smoothing_demo() -> None:
+    print("=== 2. Unseen-FK smoothing (Figure 11 setup) ===")
+    scenario = OneXrScenario(n_train=600, n_r=60, d_s=2, d_r=3, p=0.1)
+    population = scenario.population(seed=0)
+    rng = np.random.default_rng(1)
+    # Training sees only 60% of the FK domain; the test block sees it all.
+    allowed = np.arange(36)
+    train = population.draw(rng, scenario.n_train, fk_subset=allowed)
+    validation = population.draw(rng, 150, fk_subset=allowed)
+    test = population.draw(rng, 150)
+    dataset = population.dataset(train, validation, test)
+    matrices = no_join_strategy().matrices(dataset)
+
+    tree = DecisionTreeClassifier(
+        minsplit=10, cp=0.001, unseen="error", random_state=0
+    ).fit(matrices.X_train, matrices.y_train)
+
+    try:
+        tree.predict(matrices.X_test)
+    except UnseenCategoryError as error:
+        print(f"Without smoothing the tree refuses to predict: {error}")
+
+    xr_codes = np.stack([c.codes for c in population.dim_columns], axis=1)
+    smoothers = {
+        "random reassignment": RandomSmoother(seed=0).fit(
+            train.fk_codes, n_levels=scenario.n_r
+        ),
+        "X_R-based (min l0)": ForeignFeatureSmoother(xr_codes, seed=0).fit(
+            train.fk_codes, n_levels=scenario.n_r
+        ),
+    }
+    for label, smoother in smoothers.items():
+        smoothed = smoother.smooth_feature(matrices.X_test, "FK")
+        score = accuracy(matrices.y_test, tree.predict(smoothed))
+        print(
+            f"{label:22s}: test accuracy {score:.4f} "
+            f"({smoother.n_unseen_} unseen levels reassigned)"
+        )
+    print()
+    print(
+        "X_R-based smoothing exploits the dimension table as side "
+        "information and recovers more accuracy than random reassignment."
+    )
+
+
+def main() -> None:
+    compression_demo()
+    smoothing_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Advisor sweep: which joins are safe to avoid, per model family?
+
+Generates all seven emulated real-world datasets (Table 1 shapes) and
+prints, for every model family, which dimension tables the tuple-ratio
+rule judges safe to avoid.  The paper's headline contrast is visible
+directly: high-capacity models (threshold ~3x for trees/ANNs, ~6x for
+RBF-SVMs) can avoid far more joins than linear models (~20x).
+
+Run:  python examples/join_safety_advisor.py
+"""
+
+from repro.core import FAMILY_THRESHOLDS, advise
+from repro.datasets import dataset_statistics, generate_real_world
+from repro.datasets.realworld import DATASET_ORDER
+
+
+def main() -> None:
+    datasets = {
+        name: generate_real_world(name, n_fact=2000, seed=0)
+        for name in DATASET_ORDER
+    }
+
+    print("=== Dataset statistics (Table 1 reconstruction) ===")
+    for name in DATASET_ORDER:
+        print(dataset_statistics(datasets[name]))
+    print()
+
+    total_closed = sum(
+        1
+        for ds in datasets.values()
+        for dim in ds.schema.dimension_names
+        if ds.schema.constraint(dim).fk_column not in ds.schema.open_fks
+    )
+
+    print("=== Join-safety advice per model family ===")
+    for family in sorted(FAMILY_THRESHOLDS, key=FAMILY_THRESHOLDS.get):
+        avoided = 0
+        details = []
+        for name in DATASET_ORDER:
+            ds = datasets[name]
+            report = advise(ds.schema, family, train_rows=ds.train.size)
+            avoided += len(report.avoidable)
+            if report.avoidable:
+                details.append(f"{name}:{'+'.join(report.avoidable)}")
+        print(
+            f"{family:14s} (threshold {FAMILY_THRESHOLDS[family]:5.1f}x): "
+            f"avoid {avoided}/{total_closed} joins  [{', '.join(details)}]"
+        )
+    print()
+    print(
+        "Lower thresholds let the high-capacity families discard more "
+        "dimension tables a priori - the paper's counter-intuitive result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro — reproduction of Shah, Kumar & Zhu (VLDB 2017).
+
+"Are Key-Foreign Key Joins Safe to Avoid when Learning High-Capacity
+Classifiers?" studies whether key-foreign-key (KFK) joins that bring in
+foreign features can be skipped ("avoiding joins safely") when training
+decision trees, kernel SVMs, ANNs and other high-capacity classifiers.
+
+The package is organised in five layers:
+
+- :mod:`repro.relational` — an in-memory relational substrate: categorical
+  columns with closed domains, tables, star schemas with KFK constraints,
+  equi-joins, and functional-dependency auditing.
+- :mod:`repro.ml` — a from-scratch ML substrate (no sklearn): CART decision
+  trees with three split criteria, kernel SVMs trained with SMO, an MLP
+  with Adam, categorical Naive Bayes, L1 logistic regression, k-NN,
+  validation-set grid search, and the Domingos bias-variance decomposition.
+- :mod:`repro.datasets` — generators for the paper's simulation scenarios
+  (OneXr, XSXR, RepOneXr; uniform/Zipfian/needle-and-thread foreign-key
+  skew) and emulators of its seven real-world star-schema datasets.
+- :mod:`repro.core` — the paper's contribution: JoinAll/NoJoin/NoFK
+  feature-set strategies, the tuple-ratio join-safety advisor, foreign-key
+  domain compression, and unseen-foreign-key smoothing.
+- :mod:`repro.experiments` — the experiment harness reproducing every
+  table and figure in the paper's evaluation.
+"""
+
+from repro.errors import (
+    NotFittedError,
+    ReferentialIntegrityError,
+    ReproError,
+    SchemaError,
+    UnseenCategoryError,
+)
+from repro.rng import ensure_rng
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NotFittedError",
+    "ReferentialIntegrityError",
+    "ReproError",
+    "SchemaError",
+    "UnseenCategoryError",
+    "ensure_rng",
+    "__version__",
+]

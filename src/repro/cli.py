@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the workflows a downstream user reaches for
+first:
+
+- ``advise``    — join-safety advice for an emulated dataset.
+- ``stats``     — Table-1-style statistics for the emulated datasets.
+- ``run``       — one experiment cell (dataset × model × strategy).
+- ``simulate``  — a OneXr Monte Carlo sweep over the FK domain size.
+
+Everything the CLI does is a thin veneer over the public API, so the
+commands double as living documentation of it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core import (
+    FAMILY_THRESHOLDS,
+    advise,
+    join_all_strategy,
+    no_fk_strategy,
+    no_join_strategy,
+)
+from repro.datasets import (
+    OneXrScenario,
+    dataset_statistics,
+    generate_real_world,
+)
+from repro.datasets.realworld import DATASET_ORDER
+from repro.experiments import (
+    MODEL_REGISTRY,
+    FigureSeries,
+    get_scale,
+    run_experiment,
+    sweep,
+)
+
+_STRATEGIES = {
+    "JoinAll": join_all_strategy,
+    "NoJoin": no_join_strategy,
+    "NoFK": no_fk_strategy,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Are Key-Foreign Key Joins Safe to Avoid when "
+            "Learning High-Capacity Classifiers?' (VLDB 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_advise = sub.add_parser("advise", help="join-safety advice for a dataset")
+    p_advise.add_argument("dataset", choices=DATASET_ORDER)
+    p_advise.add_argument(
+        "--family",
+        choices=sorted(FAMILY_THRESHOLDS),
+        default="decision_tree",
+    )
+    p_advise.add_argument("--n-fact", type=int, default=2000)
+    p_advise.add_argument("--seed", type=int, default=0)
+
+    p_stats = sub.add_parser("stats", help="Table-1-style dataset statistics")
+    p_stats.add_argument("--n-fact", type=int, default=2000)
+    p_stats.add_argument("--seed", type=int, default=0)
+
+    p_run = sub.add_parser("run", help="run one experiment cell")
+    p_run.add_argument("dataset", choices=DATASET_ORDER)
+    p_run.add_argument("model", choices=sorted(MODEL_REGISTRY))
+    p_run.add_argument(
+        "--strategy", choices=sorted(_STRATEGIES), default="NoJoin"
+    )
+    p_run.add_argument("--scale", choices=["smoke", "default", "paper"])
+    p_run.add_argument("--seed", type=int, default=0)
+
+    p_usage = sub.add_parser(
+        "usage", help="FK split-usage analysis of a fitted tree (Section 5)"
+    )
+    p_usage.add_argument("dataset", choices=DATASET_ORDER)
+    p_usage.add_argument("--n-fact", type=int, default=1200)
+    p_usage.add_argument("--seed", type=int, default=0)
+
+    p_sim = sub.add_parser(
+        "simulate", help="OneXr Monte Carlo sweep over the FK domain size"
+    )
+    p_sim.add_argument(
+        "--n-r", type=int, nargs="+", default=[2, 10, 50, 200],
+        help="FK domain sizes to sweep",
+    )
+    p_sim.add_argument("--n-train", type=int, default=400)
+    p_sim.add_argument("--runs", type=int, default=4)
+    p_sim.add_argument("--p", type=float, default=0.1)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--csv", action="store_true", help="emit CSV")
+    return parser
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    dataset = generate_real_world(args.dataset, n_fact=args.n_fact, seed=args.seed)
+    report = advise(dataset.schema, args.family, train_rows=dataset.train.size)
+    print(report)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    for name in DATASET_ORDER:
+        dataset = generate_real_world(name, n_fact=args.n_fact, seed=args.seed)
+        print(dataset_statistics(dataset))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    dataset = generate_real_world(
+        args.dataset, n_fact=get_scale(args.scale).n_fact, seed=args.seed
+    )
+    strategy = _STRATEGIES[args.strategy]()
+    result = run_experiment(
+        dataset, args.model, strategy, scale=get_scale(args.scale)
+    )
+    print(result)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.ml import DecisionTreeClassifier, GridSearch
+
+    def tree_factory():
+        return GridSearch(
+            DecisionTreeClassifier(unseen="majority", random_state=0),
+            grid={"minsplit": [10, 100], "cp": [1e-3, 0.01]},
+        )
+
+    results = sweep(
+        lambda n_r: OneXrScenario(n_train=args.n_train, n_r=n_r, p=args.p),
+        values=args.n_r,
+        model_factory=tree_factory,
+        strategies=[join_all_strategy(), no_join_strategy(), no_fk_strategy()],
+        n_runs=args.runs,
+        seed=args.seed,
+    )
+    figure = FigureSeries(
+        title="OneXr: avg test error vs |D_FK| (gini tree)", x_label="n_r"
+    )
+    for n_r, result in results:
+        figure.add_point(n_r, result.test_error)
+    print(figure.to_csv() if args.csv else figure.render())
+    return 0
+
+
+def _cmd_usage(args: argparse.Namespace) -> int:
+    from repro.experiments.analysis import fk_usage_report
+
+    dataset = generate_real_world(args.dataset, n_fact=args.n_fact, seed=args.seed)
+    report = fk_usage_report(dataset, strategy=join_all_strategy())
+    print(report)
+    print(
+        f"foreign-key splits: {report.fraction('fk'):.0%}; "
+        f"foreign-feature splits: {report.fraction('foreign'):.0%}"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "advise": _cmd_advise,
+    "stats": _cmd_stats,
+    "run": _cmd_run,
+    "simulate": _cmd_simulate,
+    "usage": _cmd_usage,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The paper's contribution: avoiding KFK joins safely.
+
+- :mod:`repro.core.strategies` — the feature-set strategies compared
+  throughout the paper: ``JoinAll`` (current practice), ``NoJoin``
+  (avoid every avoidable join a priori), ``NoFK`` (join but drop the
+  foreign keys), and per-dimension variants for the robustness study.
+- :mod:`repro.core.advisor` — the decision rule practitioners apply:
+  compare each dimension's tuple ratio against the model family's
+  empirical threshold and recommend which joins to avoid.
+- :mod:`repro.core.compression` — foreign-key domain compression
+  (Section 6.1): the random hashing trick and the supervised sort-based
+  conditional-entropy method.
+- :mod:`repro.core.smoothing` — unseen-foreign-key smoothing
+  (Section 6.2): random reassignment and the X_R-based minimum-l0 match.
+"""
+
+from repro.core.advisor import (
+    FAMILY_THRESHOLDS,
+    JoinSafetyDecision,
+    JoinSafetyReport,
+    advise,
+)
+from repro.core.compression import RandomHashingCompressor, SortBasedCompressor
+from repro.core.smoothing import ForeignFeatureSmoother, RandomSmoother
+from repro.core.strategies import (
+    JoinStrategy,
+    PartialJoinStrategy,
+    StrategyMatrices,
+    join_all_strategy,
+    no_fk_strategy,
+    no_join_strategy,
+    avoid_dimensions_strategy,
+)
+
+__all__ = [
+    "FAMILY_THRESHOLDS",
+    "ForeignFeatureSmoother",
+    "JoinSafetyDecision",
+    "JoinSafetyReport",
+    "JoinStrategy",
+    "PartialJoinStrategy",
+    "RandomHashingCompressor",
+    "RandomSmoother",
+    "SortBasedCompressor",
+    "StrategyMatrices",
+    "advise",
+    "avoid_dimensions_strategy",
+    "join_all_strategy",
+    "no_fk_strategy",
+    "no_join_strategy",
+]

@@ -1,0 +1,154 @@
+"""The join-safety advisor: decide joins from tuple ratios alone.
+
+The practical upshot of the paper: whether a KFK join is safe to avoid
+can be judged from the *tuple ratio* — the number of training examples
+per dimension row — which needs only the dimension table's cardinality,
+never its contents.  The thresholds differ by model family, and the
+paper's headline result is that they are *lower* for high-capacity
+models than for linear ones:
+
+=================  =========  ==============================================
+family             threshold  source
+=================  =========  ==============================================
+``decision_tree``        3.0  Section 3.3 ("the tuple ratio threshold being
+                              only about 3x") and Figure 2(B)
+``ann``                  3.0  same observation for the MLP
+``rbf_svm``              6.0  Section 3.3 / Figure 3(B)
+``linear``              20.0  the original Hamlet result the paper inherits
+``1nn``                100.0  Figure 3(A): deviation starts near ratio 100
+=================  =========  ==============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.strategies import JoinStrategy, avoid_dimensions_strategy, join_all_strategy
+from repro.relational.schema import StarSchema
+
+#: Tuple-ratio thresholds per model family (see module docstring).
+FAMILY_THRESHOLDS: dict[str, float] = {
+    "decision_tree": 3.0,
+    "ann": 3.0,
+    "rbf_svm": 6.0,
+    "linear": 20.0,
+    "1nn": 100.0,
+}
+
+
+@dataclass(frozen=True)
+class JoinSafetyDecision:
+    """Advice for one dimension table."""
+
+    dimension: str
+    fk_column: str
+    tuple_ratio: float | None
+    threshold: float
+    safe_to_avoid: bool
+    reason: str
+
+    def __str__(self) -> str:
+        verdict = "AVOID join" if self.safe_to_avoid else "KEEP join"
+        ratio = "N/A" if self.tuple_ratio is None else f"{self.tuple_ratio:.1f}"
+        return (
+            f"{self.dimension}: {verdict} (tuple ratio {ratio} vs "
+            f"threshold {self.threshold:g}; {self.reason})"
+        )
+
+
+@dataclass
+class JoinSafetyReport:
+    """Advice for a whole star schema under one model family."""
+
+    model_family: str
+    threshold: float
+    decisions: list[JoinSafetyDecision] = field(default_factory=list)
+
+    @property
+    def avoidable(self) -> list[str]:
+        """Dimensions judged safe to avoid."""
+        return [d.dimension for d in self.decisions if d.safe_to_avoid]
+
+    def recommended_strategy(self) -> JoinStrategy:
+        """The strategy the advice implies.
+
+        Avoid every dimension judged safe; if none is, fall back to
+        JoinAll.
+        """
+        avoidable = self.avoidable
+        if not avoidable:
+            return join_all_strategy()
+        return avoid_dimensions_strategy(*avoidable, label="Advised")
+
+    def __str__(self) -> str:
+        lines = [
+            f"Join-safety advice for model family {self.model_family!r} "
+            f"(threshold {self.threshold:g}x):"
+        ]
+        lines += [f"  - {d}" for d in self.decisions]
+        return "\n".join(lines)
+
+
+def advise(
+    schema: StarSchema,
+    model_family: str,
+    train_rows: int | None = None,
+) -> JoinSafetyReport:
+    """Advise which KFK joins are safe to avoid for a model family.
+
+    Parameters
+    ----------
+    schema:
+        The star schema under consideration.
+    model_family:
+        One of :data:`FAMILY_THRESHOLDS`.
+    train_rows:
+        Number of *training* examples.  Defaults to the fact table's
+        cardinality; pass the training-split size when the fact table
+        also holds validation/test rows (Table 1 counts ratios against
+        the training split).
+    """
+    try:
+        threshold = FAMILY_THRESHOLDS[model_family]
+    except KeyError:
+        raise ValueError(
+            f"unknown model family {model_family!r}; "
+            f"available: {sorted(FAMILY_THRESHOLDS)}"
+        ) from None
+    n_train = schema.fact.n_rows if train_rows is None else train_rows
+    if n_train <= 0:
+        raise ValueError(f"train_rows must be positive, got {train_rows}")
+    report = JoinSafetyReport(model_family=model_family, threshold=threshold)
+    for name in schema.dimension_names:
+        constraint = schema.constraint(name)
+        if constraint.fk_column in schema.open_fks:
+            report.decisions.append(
+                JoinSafetyDecision(
+                    dimension=name,
+                    fk_column=constraint.fk_column,
+                    tuple_ratio=None,
+                    threshold=threshold,
+                    safe_to_avoid=False,
+                    reason="foreign key has an open domain and cannot be a feature",
+                )
+            )
+            continue
+        ratio = n_train / schema.dimension(name).n_rows
+        safe = ratio >= threshold
+        reason = (
+            "enough training examples per foreign-key value"
+            if safe
+            else "too few training examples per foreign-key value; "
+            "avoiding may add variance"
+        )
+        report.decisions.append(
+            JoinSafetyDecision(
+                dimension=name,
+                fk_column=constraint.fk_column,
+                tuple_ratio=ratio,
+                threshold=threshold,
+                safe_to_avoid=safe,
+                reason=reason,
+            )
+        )
+    return report

@@ -1,0 +1,161 @@
+"""Unseen-foreign-key smoothing (paper Section 6.2).
+
+Large FK domains mean some levels never occur in the training split yet
+legitimately appear at test time (they are still inside the closed
+domain — this is *not* cold start).  Categorical tree implementations
+crash on them; the fix is to reassign each unseen level to a seen one
+before prediction:
+
+- :class:`RandomSmoother` — reassign each unseen level to a uniformly
+  random seen level.
+- :class:`ForeignFeatureSmoother` — use the dimension table as side
+  information: reassign an unseen level to the seen level whose foreign
+  feature vector ``X_R`` has minimum l0 distance (count of mismatching
+  features), ties broken randomly.  When ``X_R`` carries the true
+  signal this preserves it; when ``X_R`` is noise it degrades to the
+  random smoother — exactly the trade-off Figure 11 shows.
+
+Both smoothers remap codes *within the original domain*, so smoothed
+matrices stay compatible with models fitted under ``unseen='error'``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError, SchemaError
+from repro.ml.encoding import CategoricalMatrix
+from repro.relational.schema import StarSchema
+from repro.rng import ensure_rng
+
+
+class _BaseSmoother:
+    """Shared plumbing: track seen levels, remap unseen ones."""
+
+    def __init__(self, seed: int | np.random.Generator | None = 0):
+        self.seed = seed
+
+    def _seen_from(self, train_codes: np.ndarray, n_levels: int) -> np.ndarray:
+        train_codes = np.asarray(train_codes, dtype=np.int64)
+        if train_codes.size == 0:
+            raise ValueError("cannot fit a smoother on zero training codes")
+        if train_codes.min() < 0 or train_codes.max() >= n_levels:
+            raise ValueError("training codes out of range for the FK domain")
+        seen = np.zeros(n_levels, dtype=bool)
+        seen[train_codes] = True
+        return seen
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "mapping_"):
+            raise NotFittedError(f"{type(self).__name__} must be fitted first")
+
+    def transform(self, codes: np.ndarray) -> np.ndarray:
+        """Remap codes: seen levels pass through, unseen ones are reassigned."""
+        self._check_fitted()
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.size and (codes.min() < 0 or codes.max() >= self.mapping_.shape[0]):
+            raise ValueError("codes out of range for the fitted FK domain")
+        return self.mapping_[codes]
+
+    def smooth_feature(self, X: CategoricalMatrix, feature: str) -> CategoricalMatrix:
+        """Return ``X`` with ``feature``'s unseen levels reassigned."""
+        j = X.index_of(feature)
+        return X.replace_column(j, self.transform(X.column(j)), X.n_levels[j])
+
+    @property
+    def n_unseen_(self) -> int:
+        """How many domain levels were unseen during training."""
+        self._check_fitted()
+        return int((~self.seen_).sum())
+
+
+class RandomSmoother(_BaseSmoother):
+    """Reassign each unseen FK level to a uniformly random seen level."""
+
+    def fit(self, train_codes: np.ndarray, n_levels: int) -> "RandomSmoother":
+        """Learn the level mapping from the training split's codes."""
+        seen = self._seen_from(train_codes, n_levels)
+        rng = ensure_rng(self.seed)
+        seen_levels = np.flatnonzero(seen)
+        mapping = np.arange(n_levels, dtype=np.int64)
+        unseen_levels = np.flatnonzero(~seen)
+        if unseen_levels.size:
+            mapping[unseen_levels] = rng.choice(seen_levels, size=unseen_levels.size)
+        self.seen_ = seen
+        self.mapping_ = mapping
+        return self
+
+
+class ForeignFeatureSmoother(_BaseSmoother):
+    """Reassign unseen FK levels by nearest foreign-feature vector.
+
+    Parameters
+    ----------
+    xr_codes:
+        ``(n_levels, d_R)`` integer matrix: the dimension table's foreign
+        feature codes indexed by FK code.  Build it with
+        :meth:`from_schema` when a validated star schema is at hand.
+    seed:
+        Tie-breaking randomness.
+    """
+
+    def __init__(
+        self,
+        xr_codes: np.ndarray,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        super().__init__(seed=seed)
+        xr_codes = np.asarray(xr_codes, dtype=np.int64)
+        if xr_codes.ndim != 2:
+            raise ValueError(
+                f"xr_codes must be (n_levels, d_R), got shape {xr_codes.shape}"
+            )
+        self.xr_codes = xr_codes
+
+    @classmethod
+    def from_schema(
+        cls,
+        schema: StarSchema,
+        dimension: str,
+        seed: int | np.random.Generator | None = 0,
+    ) -> "ForeignFeatureSmoother":
+        """Build the smoother from a dimension table's foreign features."""
+        table = schema.dimension(dimension)
+        rid = schema.constraint(dimension).rid_column
+        features = schema.foreign_features(dimension)
+        if not features:
+            raise SchemaError(
+                f"dimension {dimension!r} has no foreign features to smooth with"
+            )
+        n_levels = len(table.domain(rid))
+        xr = np.zeros((n_levels, len(features)), dtype=np.int64)
+        rid_codes = table.codes(rid)
+        for j, feature in enumerate(features):
+            xr[rid_codes, j] = table.codes(feature)
+        return cls(xr, seed=seed)
+
+    def fit(
+        self, train_codes: np.ndarray, n_levels: int | None = None
+    ) -> "ForeignFeatureSmoother":
+        """Learn the mapping: unseen level → l0-nearest seen level."""
+        n_levels = self.xr_codes.shape[0] if n_levels is None else n_levels
+        if n_levels != self.xr_codes.shape[0]:
+            raise ValueError(
+                f"n_levels {n_levels} does not match xr_codes rows "
+                f"{self.xr_codes.shape[0]}"
+            )
+        seen = self._seen_from(train_codes, n_levels)
+        rng = ensure_rng(self.seed)
+        seen_levels = np.flatnonzero(seen)
+        mapping = np.arange(n_levels, dtype=np.int64)
+        unseen_levels = np.flatnonzero(~seen)
+        if unseen_levels.size:
+            seen_xr = self.xr_codes[seen_levels]
+            for level in unseen_levels:
+                mismatches = (seen_xr != self.xr_codes[level]).sum(axis=1)
+                minimum = mismatches.min()
+                candidates = seen_levels[mismatches == minimum]
+                mapping[level] = rng.choice(candidates)
+        self.seen_ = seen
+        self.mapping_ = mapping
+        return self

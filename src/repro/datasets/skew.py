@@ -1,0 +1,97 @@
+"""Foreign-key skew samplers for the simulation study.
+
+Section 4.1's "Foreign Key Skew" experiments replace the uniform
+``P(FK)`` of the base procedure with either a Zipfian distribution or a
+"needle-and-thread" distribution (one heavy level, the rest uniform).
+Each sampler draws ``n`` foreign-key codes over ``n_levels`` levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class UniformFK:
+    """Uniform foreign-key assignment (the default of step 3, Section 4.1)."""
+
+    def probabilities(self, n_levels: int) -> np.ndarray:
+        """Level probabilities, uniform."""
+        if n_levels < 1:
+            raise ValueError(f"n_levels must be >= 1, got {n_levels}")
+        return np.full(n_levels, 1.0 / n_levels)
+
+    def sample(
+        self, rng: np.random.Generator | int | None, n: int, n_levels: int
+    ) -> np.ndarray:
+        """Draw ``n`` codes in ``[0, n_levels)``."""
+        return ensure_rng(rng).integers(0, n_levels, size=n)
+
+
+@dataclass(frozen=True)
+class ZipfFK:
+    """Zipfian foreign-key skew: ``P(level r) ∝ 1 / (r+1)^s``.
+
+    ``s = 0`` degenerates to uniform; the paper sweeps ``s`` up to 4 and
+    uses ``s = 2`` for its training-size sweep (Figure 5 A-B).
+    """
+
+    s: float = 1.0
+
+    def probabilities(self, n_levels: int) -> np.ndarray:
+        """Zipf level probabilities over ``n_levels`` ranks."""
+        if n_levels < 1:
+            raise ValueError(f"n_levels must be >= 1, got {n_levels}")
+        if self.s < 0:
+            raise ValueError(f"Zipf exponent must be >= 0, got {self.s}")
+        weights = 1.0 / np.power(np.arange(1, n_levels + 1, dtype=np.float64), self.s)
+        return weights / weights.sum()
+
+    def sample(
+        self, rng: np.random.Generator | int | None, n: int, n_levels: int
+    ) -> np.ndarray:
+        """Draw ``n`` codes with Zipfian level frequencies."""
+        return ensure_rng(rng).choice(
+            n_levels, size=n, p=self.probabilities(n_levels)
+        )
+
+
+@dataclass(frozen=True)
+class NeedleThreadFK:
+    """Needle-and-thread skew: mass ``needle_prob`` on one level.
+
+    The "needle" level (code 0) receives probability ``needle_prob``;
+    the remaining mass spreads uniformly over the "thread" (all other
+    levels).  The paper sweeps ``needle_prob`` up to 1 and uses 0.5 for
+    its training-size sweep (Figure 5 C-D).
+    """
+
+    needle_prob: float = 0.5
+
+    def probabilities(self, n_levels: int) -> np.ndarray:
+        """Level probabilities: needle at code 0, uniform thread."""
+        if n_levels < 1:
+            raise ValueError(f"n_levels must be >= 1, got {n_levels}")
+        if not 0.0 <= self.needle_prob <= 1.0:
+            raise ValueError(
+                f"needle_prob must lie in [0, 1], got {self.needle_prob}"
+            )
+        if n_levels == 1:
+            return np.array([1.0])
+        probs = np.full(
+            n_levels, (1.0 - self.needle_prob) / (n_levels - 1)
+        )
+        probs[0] = self.needle_prob
+        return probs
+
+    def sample(
+        self, rng: np.random.Generator | int | None, n: int, n_levels: int
+    ) -> np.ndarray:
+        """Draw ``n`` codes with needle-and-thread frequencies."""
+        return ensure_rng(rng).choice(
+            n_levels, size=n, p=self.probabilities(n_levels)
+        )

@@ -1,0 +1,131 @@
+"""Train/validation/test splitting and the SplitDataset container.
+
+The paper pre-splits every dataset 50/25/25 for training, validation
+(feature selection and hyper-parameter tuning), and holdout testing
+(Section 3.2).  The simulation study instead samples ``n_S`` training
+examples plus ``n_S/4`` each for validation and test (Section 4); both
+conventions produce the same container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.relational.schema import StarSchema
+from repro.rng import ensure_rng
+
+
+def three_way_split(
+    n: int,
+    fractions: tuple[float, float] = (0.5, 0.25),
+    seed: int | np.random.Generator | None = 0,
+    shuffle: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split ``range(n)`` into train/validation/test index arrays.
+
+    Parameters
+    ----------
+    n:
+        Number of examples.
+    fractions:
+        ``(train fraction, validation fraction)``; the remainder is the
+        test split.  Defaults to the paper's 50/25/25.
+    seed:
+        Shuffling randomness.
+    shuffle:
+        Set false to split contiguously (used when the generator already
+        randomised row order).
+    """
+    if n < 3:
+        raise ValueError(f"need at least 3 examples to split, got {n}")
+    train_frac, val_frac = fractions
+    if train_frac <= 0 or val_frac <= 0 or train_frac + val_frac >= 1:
+        raise ValueError(f"invalid split fractions {fractions}")
+    order = ensure_rng(seed).permutation(n) if shuffle else np.arange(n)
+    n_train = min(max(1, int(round(train_frac * n))), n - 2)
+    n_val = min(max(1, int(round(val_frac * n))), n - n_train - 1)
+    return (
+        order[:n_train],
+        order[n_train : n_train + n_val],
+        order[n_train + n_val :],
+    )
+
+
+@dataclass
+class SplitDataset:
+    """A star schema with a fixed train/validation/test row split.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (e.g. ``"yelp"`` or ``"OneXr"``).
+    schema:
+        The full star schema; the fact table holds *all* rows.
+    train, validation, test:
+        Disjoint row-index arrays into the fact table.
+    y_optimal:
+        Bayes-optimal label per fact row when the generating
+        distribution is known (simulation scenarios); ``None`` for the
+        real-world emulators' observational splits.
+    """
+
+    name: str
+    schema: StarSchema
+    train: np.ndarray
+    validation: np.ndarray
+    test: np.ndarray
+    y_optimal: np.ndarray | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = self.schema.fact.n_rows
+        splits = [self.train, self.validation, self.test]
+        combined = np.concatenate(splits)
+        if combined.size and (combined.min() < 0 or combined.max() >= n):
+            raise ValueError("split indices out of range for the fact table")
+        if len(np.unique(combined)) != combined.size:
+            raise ValueError("train/validation/test splits overlap")
+        if self.y_optimal is not None and self.y_optimal.shape != (n,):
+            raise ValueError(
+                f"y_optimal must have one entry per fact row ({n}), "
+                f"got shape {self.y_optimal.shape}"
+            )
+
+    @property
+    def y(self) -> np.ndarray:
+        """Observed labels for every fact row."""
+        return self.schema.fact.codes(self.schema.target)
+
+    def labels(self, split: str) -> np.ndarray:
+        """Observed labels of one split (``'train'|'validation'|'test'``)."""
+        return self.y[self.rows(split)]
+
+    def optimal_labels(self, split: str) -> np.ndarray:
+        """Bayes-optimal labels of one split (simulations only)."""
+        if self.y_optimal is None:
+            raise ValueError(
+                f"dataset {self.name!r} has no known Bayes-optimal labels"
+            )
+        return self.y_optimal[self.rows(split)]
+
+    def rows(self, split: str) -> np.ndarray:
+        """Row indices of one split."""
+        try:
+            return {
+                "train": self.train,
+                "validation": self.validation,
+                "test": self.test,
+            }[split]
+        except KeyError:
+            raise ValueError(
+                f"unknown split {split!r}; expected train/validation/test"
+            ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"SplitDataset({self.name!r}, train={self.train.size}, "
+            f"val={self.validation.size}, test={self.test.size}, "
+            f"q={self.schema.q})"
+        )

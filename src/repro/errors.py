@@ -1,0 +1,53 @@
+"""Exception hierarchy shared across the package.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch one type to handle anything the library signals.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """A table or star schema is malformed.
+
+    Raised for duplicate column names, ragged column lengths, unknown
+    column references, non-unique primary keys, and similar structural
+    problems.
+    """
+
+
+class ReferentialIntegrityError(SchemaError):
+    """A foreign-key column references values absent from the dimension.
+
+    The paper assumes closed foreign-key domains (Section 2.2); this error
+    signals a violation of that assumption at schema-validation time.
+    """
+
+
+class UnseenCategoryError(ReproError):
+    """A categorical value absent from training data arose at prediction.
+
+    The paper observes (Section 6.2) that popular R decision-tree
+    implementations crash in this situation.  We reproduce the behaviour
+    as a typed error so the smoothing heuristics of
+    :mod:`repro.core.smoothing` have something concrete to fix.
+    """
+
+    def __init__(self, feature, code):
+        self.feature = feature
+        self.code = code
+        super().__init__(
+            f"feature {feature!r} saw category code {code!r} at prediction "
+            f"time that never occurred during training; apply a smoother "
+            f"from repro.core.smoothing or set unseen='majority'"
+        )
+
+
+class NotFittedError(ReproError):
+    """An estimator method requiring a fitted model was called before fit."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative solver stopped at its iteration limit."""

@@ -1,0 +1,149 @@
+"""Hyper-parameter grids and scale profiles.
+
+The PAPER grids transcribe Section 3.2 verbatim.  Running them on a CI
+budget is infeasible (the RBF-SVM grid alone is 30 SMO solves per
+strategy per dataset), so two reduced profiles exist:
+
+- ``SMOKE`` — single grid points, tiny networks; seconds per table.
+  Used by unit tests.
+- ``DEFAULT`` — pruned-but-faithful grids spanning the same axes;
+  minutes for the full benchmark suite.  Used by the benchmarks.
+- ``PAPER`` — the full Section 3.2 grids and the paper's Monte Carlo
+  repetition count.
+
+Select globally with the ``REPRO_SCALE`` environment variable
+(``smoke`` / ``default`` / ``paper``) or pass a :class:`Scale` to the
+harness explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One resource profile for the whole experiment suite.
+
+    Attributes
+    ----------
+    name:
+        Profile identifier.
+    n_fact:
+        Fact-table rows for the real-world emulators.
+    mc_runs:
+        Monte Carlo repetitions for the simulation study (paper: 100).
+    sim_n_train:
+        Default simulation training-set size (paper: 1000).
+    grids:
+        Per-model hyper-parameter grids, keyed by model registry key.
+    ann_hidden:
+        MLP hidden layer sizes (paper: (256, 64)).
+    ann_epochs:
+        MLP training epochs.
+    lr_nlambda:
+        Lambda-path length for L1 logistic regression (paper: 100).
+    svm_max_passes:
+        SMO stall passes before declaring convergence.
+    """
+
+    name: str
+    n_fact: int
+    mc_runs: int
+    sim_n_train: int
+    grids: dict[str, dict[str, list[Any]]]
+    ann_hidden: tuple[int, ...]
+    ann_epochs: int
+    lr_nlambda: int
+    svm_max_passes: int = 3
+
+    def grid_for(self, model_key: str) -> dict[str, list[Any]]:
+        """The hyper-parameter grid of one model (empty if untuned)."""
+        return self.grids.get(model_key, {})
+
+
+_TREE_KEYS = ("dt_gini", "dt_entropy", "dt_gain_ratio")
+
+
+def _tree_grids(minsplit: list[int], cp: list[float]) -> dict[str, dict]:
+    return {key: {"minsplit": minsplit, "cp": cp} for key in _TREE_KEYS}
+
+
+PAPER = Scale(
+    name="paper",
+    n_fact=100_000,
+    mc_runs=100,
+    sim_n_train=1000,
+    grids={
+        # Section 3.2: minsplit in {1,10,100,1000}, cp in {1e-4,1e-3,0.01,0.1,0}.
+        **_tree_grids([1, 10, 100, 1000], [1e-4, 1e-3, 0.01, 0.1, 0.0]),
+        # C in {0.1,1,10,100,1000}; gamma in {1e-4,...,10}.
+        "svm_rbf": {
+            "C": [0.1, 1.0, 10.0, 100.0, 1000.0],
+            "gamma": [1e-4, 1e-3, 0.01, 0.1, 1.0, 10.0],
+        },
+        "svm_quadratic": {
+            "C": [0.1, 1.0, 10.0, 100.0, 1000.0],
+            "gamma": [1e-4, 1e-3, 0.01, 0.1, 1.0, 10.0],
+        },
+        "svm_linear": {"C": [0.1, 1.0, 10.0, 100.0, 1000.0]},
+        # L2 in {1e-4,1e-3,1e-2}; learning rate in {1e-3,1e-2,1e-1}.
+        "ann": {
+            "l2": [1e-4, 1e-3, 1e-2],
+            "learning_rate": [1e-3, 1e-2, 1e-1],
+        },
+    },
+    ann_hidden=(256, 64),
+    ann_epochs=30,
+    lr_nlambda=100,
+    svm_max_passes=5,
+)
+
+DEFAULT = Scale(
+    name="default",
+    n_fact=1600,
+    mc_runs=8,
+    sim_n_train=600,
+    grids={
+        **_tree_grids([10, 100], [1e-3, 0.01]),
+        "svm_rbf": {"C": [1.0, 10.0], "gamma": [0.01, 0.1]},
+        "svm_quadratic": {"C": [1.0, 10.0], "gamma": [0.01, 0.1]},
+        "svm_linear": {"C": [1.0, 10.0]},
+        "ann": {"l2": [1e-4, 1e-2], "learning_rate": [1e-2]},
+    },
+    ann_hidden=(32, 16),
+    ann_epochs=12,
+    lr_nlambda=30,
+)
+
+SMOKE = Scale(
+    name="smoke",
+    n_fact=400,
+    mc_runs=3,
+    sim_n_train=150,
+    grids={
+        **_tree_grids([10], [0.01]),
+        "svm_rbf": {"C": [10.0], "gamma": [0.1]},
+        "svm_quadratic": {"C": [10.0], "gamma": [0.1]},
+        "svm_linear": {"C": [10.0]},
+        "ann": {"l2": [1e-3], "learning_rate": [1e-2]},
+    },
+    ann_hidden=(8,),
+    ann_epochs=5,
+    lr_nlambda=8,
+)
+
+_PROFILES = {scale.name: scale for scale in (SMOKE, DEFAULT, PAPER)}
+
+
+def get_scale(name: str | None = None) -> Scale:
+    """Resolve a scale profile by name or the ``REPRO_SCALE`` env var."""
+    chosen = name or os.environ.get("REPRO_SCALE", "default")
+    try:
+        return _PROFILES[chosen.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {chosen!r}; available: {sorted(_PROFILES)}"
+        ) from None

@@ -1,0 +1,162 @@
+"""Rendering experiment results as the paper's tables and figure series.
+
+:class:`AccuracyTable` reproduces the layout of Tables 2-6: datasets as
+rows, (model, strategy) pairs as columns, with the paper's convention of
+flagging cells where NoJoin trails JoinAll by at least one accuracy
+point.  :class:`FigureSeries` holds one figure panel's data — an x axis
+plus one y series per strategy — and renders it as an aligned text
+block (and CSV for downstream plotting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: The paper bold-faces cells where NoJoin is at least this much below
+#: JoinAll (1 accuracy point).
+SIGNIFICANT_DROP = 0.01
+
+
+@dataclass
+class AccuracyTable:
+    """A Tables-2-to-6-style accuracy grid.
+
+    Values are keyed by ``(dataset, model, strategy)``; columns group by
+    model first, strategy second, mirroring the paper's layout.
+    """
+
+    caption: str
+    datasets: list[str] = field(default_factory=list)
+    models: list[str] = field(default_factory=list)
+    strategies: list[str] = field(default_factory=list)
+    values: dict[tuple[str, str, str], float] = field(default_factory=dict)
+
+    def record(
+        self, dataset: str, model: str, strategy: str, accuracy: float
+    ) -> None:
+        """Add one cell, registering new row/column labels in order."""
+        if dataset not in self.datasets:
+            self.datasets.append(dataset)
+        if model not in self.models:
+            self.models.append(model)
+        if strategy not in self.strategies:
+            self.strategies.append(strategy)
+        self.values[(dataset, model, strategy)] = float(accuracy)
+
+    def get(self, dataset: str, model: str, strategy: str) -> float | None:
+        """Look up one cell (None when the cell was never recorded)."""
+        return self.values.get((dataset, model, strategy))
+
+    def flagged_cells(self) -> list[tuple[str, str]]:
+        """(dataset, model) pairs where NoJoin trails JoinAll by >= 1 point.
+
+        This is the paper's bold-face criterion; on most datasets and
+        models the list should be empty or nearly so.
+        """
+        flagged = []
+        for dataset in self.datasets:
+            for model in self.models:
+                join_all = self.get(dataset, model, "JoinAll")
+                no_join = self.get(dataset, model, "NoJoin")
+                if join_all is None or no_join is None:
+                    continue
+                if no_join <= join_all - SIGNIFICANT_DROP:
+                    flagged.append((dataset, model))
+        return flagged
+
+    def render(self) -> str:
+        """Aligned text rendering; flagged cells carry a ``*`` suffix."""
+        flagged = set(self.flagged_cells())
+        header_cells = ["dataset"]
+        for model in self.models:
+            for strategy in self.strategies:
+                if (self.datasets and all(
+                    self.get(d, model, strategy) is None for d in self.datasets
+                )):
+                    continue
+                header_cells.append(f"{model}/{strategy}")
+        rows = [header_cells]
+        for dataset in self.datasets:
+            row = [dataset]
+            for model in self.models:
+                for strategy in self.strategies:
+                    if all(
+                        self.get(d, model, strategy) is None for d in self.datasets
+                    ):
+                        continue
+                    value = self.get(dataset, model, strategy)
+                    if value is None:
+                        row.append("-")
+                        continue
+                    mark = (
+                        "*"
+                        if strategy == "NoJoin" and (dataset, model) in flagged
+                        else ""
+                    )
+                    row.append(f"{value:.4f}{mark}")
+            rows.append(row)
+        widths = [
+            max(len(row[j]) for row in rows) for j in range(len(rows[0]))
+        ]
+        lines = [self.caption]
+        for row in rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class FigureSeries:
+    """One figure panel: an x axis and one y series per strategy."""
+
+    title: str
+    x_label: str
+    x: list = field(default_factory=list)
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def add_point(self, x_value, values: dict[str, float]) -> None:
+        """Append one x-axis point with its per-series y values."""
+        self.x.append(x_value)
+        for name, value in values.items():
+            self.series.setdefault(name, []).append(float(value))
+        for name, ys in self.series.items():
+            if len(ys) < len(self.x):
+                raise ValueError(
+                    f"series {name!r} missing a value at x={x_value!r}"
+                )
+
+    def max_gap(self, a: str, b: str) -> float:
+        """Largest pointwise |a - b| gap between two series."""
+        ya, yb = np.asarray(self.series[a]), np.asarray(self.series[b])
+        if ya.shape != yb.shape:
+            raise ValueError("series lengths differ")
+        return float(np.max(np.abs(ya - yb))) if ya.size else 0.0
+
+    def render(self) -> str:
+        """Aligned text rendering of the panel data."""
+        names = list(self.series)
+        rows = [[self.x_label, *names]]
+        for i, x_value in enumerate(self.x):
+            rows.append(
+                [str(x_value), *(f"{self.series[n][i]:.4f}" for n in names)]
+            )
+        widths = [max(len(row[j]) for row in rows) for j in range(len(rows[0]))]
+        lines = [self.title]
+        for row in rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV rendering (x column plus one column per series)."""
+        names = list(self.series)
+        lines = [",".join([self.x_label, *names])]
+        for i, x_value in enumerate(self.x):
+            lines.append(
+                ",".join([str(x_value), *(f"{self.series[n][i]:.6f}" for n in names)])
+            )
+        return "\n".join(lines)

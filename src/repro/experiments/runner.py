@@ -1,0 +1,258 @@
+"""End-to-end tune/train/test pipeline for the real-data study.
+
+One :func:`run_experiment` call reproduces one cell of Tables 2-6: it
+materialises a strategy's feature matrices, tunes the model on the
+validation split with the Section 3.2 grids, and reports train/
+validation/test accuracy plus the end-to-end wall-clock time (the
+quantity Figure 1 plots).
+
+The :data:`MODEL_REGISTRY` holds all ten classifiers the paper
+evaluates, each wrapped in the tuning procedure the paper used: grid
+search for trees/SVMs/ANN, backward feature selection for Naive Bayes,
+the glmnet-style lambda path for L1 logistic regression, and no tuning
+for 1-NN.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.strategies import JoinStrategy, StrategyMatrices
+from repro.datasets.splits import SplitDataset
+from repro.experiments.config import Scale, get_scale
+from repro.ml import (
+    CategoricalNB,
+    DecisionTreeClassifier,
+    GridSearch,
+    KernelSVC,
+    KNeighborsClassifier,
+    MLPClassifier,
+)
+from repro.ml.encoding import CategoricalMatrix
+from repro.ml.linear import LogisticRegressionPath
+from repro.ml.selection import BackwardSelection
+
+
+class PathTuner:
+    """Adapts :class:`LogisticRegressionPath` to the tuner protocol."""
+
+    def __init__(self, nlambda: int):
+        self.path = LogisticRegressionPath(
+            nlambda=nlambda, max_iter=10_000, tol=1e-3
+        )
+
+    def fit(
+        self,
+        X_train: CategoricalMatrix,
+        y_train: np.ndarray,
+        X_val: CategoricalMatrix,
+        y_val: np.ndarray,
+    ) -> "PathTuner":
+        self.best_model_ = self.path.fit_best(X_train, y_train, X_val, y_val)
+        self.best_params_ = {"lam": self.best_model_.lam}
+        return self
+
+    def predict(self, X: CategoricalMatrix) -> np.ndarray:
+        return self.best_model_.predict(X)
+
+    def score(self, X: CategoricalMatrix, y: np.ndarray) -> float:
+        return self.best_model_.score(X, y)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Registry entry: how to build one paper model's tuner.
+
+    Attributes
+    ----------
+    key:
+        Registry key (``dt_gini``, ``svm_rbf``, ...).
+    display:
+        Name as it appears in the paper's table headers.
+    family:
+        Advisor model family (:data:`repro.core.advisor.FAMILY_THRESHOLDS`).
+    make_tuner:
+        Builds a fresh tuner for a scale profile.  A tuner exposes
+        ``fit(X_train, y_train, X_val, y_val)``, ``predict`` and ``score``.
+    """
+
+    key: str
+    display: str
+    family: str
+    make_tuner: Callable[[Scale], Any]
+
+
+def _tree_spec(key: str, display: str, criterion: str) -> ModelSpec:
+    def make(scale: Scale):
+        return GridSearch(
+            DecisionTreeClassifier(
+                criterion=criterion, unseen="majority", random_state=0
+            ),
+            grid=scale.grid_for(key),
+        )
+
+    return ModelSpec(key=key, display=display, family="decision_tree", make_tuner=make)
+
+
+def _svm_spec(key: str, display: str, kernel: str, family: str) -> ModelSpec:
+    def make(scale: Scale):
+        return GridSearch(
+            KernelSVC(
+                kernel=kernel,
+                degree=2,
+                max_passes=scale.svm_max_passes,
+                random_state=0,
+            ),
+            grid=scale.grid_for(key),
+        )
+
+    return ModelSpec(key=key, display=display, family=family, make_tuner=make)
+
+
+def _ann_spec() -> ModelSpec:
+    def make(scale: Scale):
+        return GridSearch(
+            MLPClassifier(
+                hidden_sizes=scale.ann_hidden,
+                epochs=scale.ann_epochs,
+                random_state=0,
+            ),
+            grid=scale.grid_for("ann"),
+        )
+
+    return ModelSpec(key="ann", display="ANN", family="ann", make_tuner=make)
+
+
+def _nb_spec() -> ModelSpec:
+    def make(scale: Scale):
+        return BackwardSelection(CategoricalNB(alpha=1.0))
+
+    return ModelSpec(
+        key="nb_bfs", display="Naive Bayes (BFS)", family="linear", make_tuner=make
+    )
+
+
+def _lr_spec() -> ModelSpec:
+    def make(scale: Scale):
+        return PathTuner(nlambda=scale.lr_nlambda)
+
+    return ModelSpec(
+        key="lr_l1", display="Logistic Regression (L1)", family="linear",
+        make_tuner=make,
+    )
+
+
+def _nn1_spec() -> ModelSpec:
+    def make(scale: Scale):
+        return GridSearch(KNeighborsClassifier(n_neighbors=1), grid={})
+
+    return ModelSpec(key="nn1", display="1-NN", family="1nn", make_tuner=make)
+
+
+#: All ten classifiers of the study, keyed as used by the benchmarks.
+MODEL_REGISTRY: dict[str, ModelSpec] = {
+    spec.key: spec
+    for spec in (
+        _tree_spec("dt_gini", "Decision Tree (Gini)", "gini"),
+        _tree_spec("dt_entropy", "Decision Tree (Information Gain)", "entropy"),
+        _tree_spec("dt_gain_ratio", "Decision Tree (Gain Ratio)", "gain_ratio"),
+        _nn1_spec(),
+        _svm_spec("svm_linear", "SVM (Linear)", "linear", "linear"),
+        _svm_spec("svm_quadratic", "SVM (Polynomial)", "poly", "rbf_svm"),
+        _svm_spec("svm_rbf", "SVM (RBF)", "rbf", "rbf_svm"),
+        _ann_spec(),
+        _nb_spec(),
+        _lr_spec(),
+    )
+}
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (dataset, model, strategy) experiment cell."""
+
+    dataset: str
+    model: str
+    strategy: str
+    test_accuracy: float
+    train_accuracy: float
+    validation_accuracy: float
+    seconds: float
+    n_features: int
+    best_params: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.dataset}/{self.model}/{self.strategy}: "
+            f"test={self.test_accuracy:.4f} train={self.train_accuracy:.4f} "
+            f"({self.seconds:.2f}s, {self.n_features} features)"
+        )
+
+
+def run_experiment(
+    dataset: SplitDataset,
+    model_key: str,
+    strategy: JoinStrategy,
+    scale: Scale | None = None,
+    matrices: StrategyMatrices | None = None,
+) -> RunResult:
+    """Run one experiment cell end to end.
+
+    Parameters
+    ----------
+    dataset:
+        A pre-split star-schema dataset.
+    model_key:
+        Key into :data:`MODEL_REGISTRY`.
+    strategy:
+        Feature-set strategy (JoinAll / NoJoin / NoFK / NoRi).
+    scale:
+        Resource profile; ``None`` resolves via ``REPRO_SCALE``.
+    matrices:
+        Pre-materialised matrices (to share the join across models);
+        built from the strategy when omitted.
+
+    Returns
+    -------
+    RunResult
+        Accuracies on all three splits plus the end-to-end time, which
+        covers feature materialisation, the full grid search, refit and
+        test-set scoring — the paper's Figure 1 quantity.
+    """
+    try:
+        spec = MODEL_REGISTRY[model_key]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {model_key!r}; available: {sorted(MODEL_REGISTRY)}"
+        ) from None
+    scale = scale or get_scale()
+    started = time.perf_counter()
+    if matrices is None:
+        matrices = strategy.matrices(dataset)
+    tuner = spec.make_tuner(scale)
+    tuner.fit(
+        matrices.X_train,
+        matrices.y_train,
+        matrices.X_validation,
+        matrices.y_validation,
+    )
+    test_accuracy = tuner.score(matrices.X_test, matrices.y_test)
+    train_accuracy = tuner.score(matrices.X_train, matrices.y_train)
+    elapsed = time.perf_counter() - started
+    return RunResult(
+        dataset=dataset.name,
+        model=spec.display,
+        strategy=strategy.name,
+        test_accuracy=test_accuracy,
+        train_accuracy=train_accuracy,
+        validation_accuracy=float(
+            getattr(tuner, "best_validation_accuracy_", np.nan)
+        ),
+        seconds=elapsed,
+        n_features=matrices.X_train.n_features,
+        best_params=dict(getattr(tuner, "best_params_", {})),
+    )

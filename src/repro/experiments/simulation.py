@@ -1,0 +1,161 @@
+"""Monte Carlo simulation loops (Section 4 methodology).
+
+The paper generates many training datasets from a fixed "true"
+distribution and reports, per strategy, the **average test error** and
+the **average net variance** (Domingos decomposition) of the models
+fitted on them.  :func:`run_monte_carlo` implements one such loop for a
+frozen scenario population: the dimension table, true distribution and
+test block stay fixed across runs, while training and validation blocks
+are redrawn each run.  :func:`sweep` repeats the loop along a parameter
+axis, producing the data behind Figures 2-9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.strategies import JoinStrategy
+from repro.ml.bias_variance import BiasVarianceDecomposition, decompose
+from repro.ml.metrics import zero_one_error
+from repro.rng import ensure_rng, spawn_rngs
+
+
+@dataclass
+class MonteCarloResult:
+    """Per-strategy averages over a Monte Carlo loop."""
+
+    scenario: str
+    n_runs: int
+    test_error: dict[str, float] = field(default_factory=dict)
+    net_variance: dict[str, float] = field(default_factory=dict)
+    decompositions: dict[str, BiasVarianceDecomposition] = field(
+        default_factory=dict
+    )
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = [
+            f"{name}: err={self.test_error[name]:.4f} "
+            f"net_var={self.net_variance[name]:.4f}"
+            for name in self.test_error
+        ]
+        return f"MonteCarlo[{self.scenario} x{self.n_runs}] " + "; ".join(parts)
+
+
+def run_monte_carlo(
+    scenario,
+    model_factory: Callable[[], Any],
+    strategies: list[JoinStrategy],
+    n_runs: int = 10,
+    seed: int | np.random.Generator | None = 0,
+) -> MonteCarloResult:
+    """Run one Monte Carlo loop for a scenario.
+
+    Parameters
+    ----------
+    scenario:
+        Any object with ``population(seed)``, ``n_train`` (one of the
+        Section 4 scenarios).
+    model_factory:
+        Builds a fresh tuner per (run, strategy); a tuner exposes
+        ``fit(X_train, y_train, X_val, y_val)`` and ``predict``.
+        Wrap plain estimators in :class:`~repro.ml.selection.GridSearch`
+        (possibly with an empty grid).
+    strategies:
+        Feature strategies to compare (JoinAll / NoJoin / NoFK).
+    n_runs:
+        Monte Carlo repetitions (paper: 100).
+    seed:
+        Master seed; populations, test block and every run derive
+        deterministically from it.
+
+    Notes
+    -----
+    The test block is drawn once from the population and shared by all
+    runs, which is what makes the across-run Domingos decomposition
+    well-defined.  Test error is measured against the *observed* labels
+    (including Bayes noise); net variance against the known optimal
+    labels.
+    """
+    if n_runs < 1:
+        raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+    if not strategies:
+        raise ValueError("need at least one strategy")
+    root = ensure_rng(seed)
+    population = scenario.population(root)
+    n_eval = max(1, scenario.n_train // 4)
+    test_block = population.draw(root, n_eval)
+    run_rngs = spawn_rngs(root, n_runs)
+
+    predictions: dict[str, np.ndarray] = {
+        s.name: np.empty((n_runs, n_eval), dtype=np.int64) for s in strategies
+    }
+    for run, rng in enumerate(run_rngs):
+        train_block = population.draw(rng, scenario.n_train)
+        val_block = population.draw(rng, n_eval)
+        dataset = population.dataset(train_block, val_block, test_block)
+        for strategy in strategies:
+            matrices = strategy.matrices(dataset)
+            tuner = model_factory()
+            tuner.fit(
+                matrices.X_train,
+                matrices.y_train,
+                matrices.X_validation,
+                matrices.y_validation,
+            )
+            predictions[strategy.name][run] = tuner.predict(matrices.X_test)
+
+    result = MonteCarloResult(
+        scenario=population.name,
+        n_runs=n_runs,
+        metadata=dict(population.metadata),
+    )
+    for strategy in strategies:
+        preds = predictions[strategy.name]
+        errors = [
+            zero_one_error(test_block.y, preds[run]) for run in range(n_runs)
+        ]
+        decomposition = decompose(
+            preds, test_block.y_optimal, y_true=test_block.y
+        )
+        result.test_error[strategy.name] = float(np.mean(errors))
+        result.net_variance[strategy.name] = decomposition.net_variance
+        result.decompositions[strategy.name] = decomposition
+    return result
+
+
+def sweep(
+    scenario_factory: Callable[[Any], Any],
+    values: list[Any],
+    model_factory: Callable[[], Any],
+    strategies: list[JoinStrategy],
+    n_runs: int = 10,
+    seed: int = 0,
+) -> list[tuple[Any, MonteCarloResult]]:
+    """Run a Monte Carlo loop for each value of a swept parameter.
+
+    ``scenario_factory(value)`` builds the scenario for one x-axis
+    point; each point gets an independent deterministic seed derived
+    from ``seed``.  Returns ``(value, result)`` pairs in input order.
+    """
+    if not values:
+        raise ValueError("sweep needs at least one value")
+    results = []
+    for offset, value in enumerate(values):
+        scenario = scenario_factory(value)
+        results.append(
+            (
+                value,
+                run_monte_carlo(
+                    scenario,
+                    model_factory,
+                    strategies,
+                    n_runs=n_runs,
+                    seed=seed + 1_000 * offset,
+                ),
+            )
+        )
+    return results

@@ -1,0 +1,203 @@
+"""Feature-matrix assembly and encodings.
+
+Every learner in :mod:`repro.ml` consumes a :class:`CategoricalMatrix`:
+an ``(n, d)`` array of integer codes plus the closed domain size of each
+feature.  Tree and Naive Bayes models operate on codes directly; numeric
+models (SVM, MLP, logistic regression, k-NN) call :meth:`CategoricalMatrix.onehot`
+to obtain the standard one-hot encoding the paper uses for such models.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.relational.table import Table
+
+
+def one_hot(codes: np.ndarray, n_levels: int) -> np.ndarray:
+    """One-hot encode a 1-D code vector into an ``(n, n_levels)`` float matrix."""
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.ndim != 1:
+        raise SchemaError(f"codes must be 1-D, got {codes.ndim}-D")
+    if codes.size and (codes.min() < 0 or codes.max() >= n_levels):
+        raise SchemaError(f"codes out of range for {n_levels} levels")
+    out = np.zeros((codes.shape[0], n_levels), dtype=np.float64)
+    out[np.arange(codes.shape[0]), codes] = 1.0
+    return out
+
+
+class CategoricalMatrix:
+    """An integer-coded categorical feature matrix with closed domains.
+
+    Parameters
+    ----------
+    codes:
+        ``(n, d)`` integer array; column ``j`` holds codes in
+        ``[0, n_levels[j])``.
+    n_levels:
+        Domain size of each feature (the *closed* domain — levels need
+        not all occur in the data).
+    names:
+        Feature names, parallel to columns.
+    """
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        n_levels: Sequence[int],
+        names: Sequence[str],
+    ):
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 2:
+            raise SchemaError(f"codes must be 2-D, got {codes.ndim}-D")
+        n_levels = tuple(int(k) for k in n_levels)
+        names = tuple(names)
+        if len(n_levels) != codes.shape[1] or len(names) != codes.shape[1]:
+            raise SchemaError(
+                f"inconsistent widths: codes has {codes.shape[1]} columns, "
+                f"{len(n_levels)} level counts, {len(names)} names"
+            )
+        if len(set(names)) != len(names):
+            raise SchemaError("feature names must be unique")
+        for j, k in enumerate(n_levels):
+            if k <= 0:
+                raise SchemaError(f"feature {names[j]!r}: domain size must be positive")
+            if codes.shape[0] and (codes[:, j].min() < 0 or codes[:, j].max() >= k):
+                raise SchemaError(
+                    f"feature {names[j]!r}: codes out of range for {k} levels"
+                )
+        self.codes = codes
+        self.n_levels = n_levels
+        self.names = names
+        self._onehot_cache: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_table(cls, table: Table, features: Sequence[str]) -> "CategoricalMatrix":
+        """Assemble a matrix from the named columns of a relational table."""
+        if not features:
+            return cls(np.zeros((table.n_rows, 0), dtype=np.int64), (), ())
+        columns = [table.column(name) for name in features]
+        codes = np.stack([c.codes for c in columns], axis=1)
+        return cls(codes, [c.n_levels for c in columns], features)
+
+    @classmethod
+    def empty(cls, n_rows: int) -> "CategoricalMatrix":
+        """A matrix with ``n_rows`` rows and no features."""
+        return cls(np.zeros((n_rows, 0), dtype=np.int64), (), ())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Number of examples."""
+        return self.codes.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Number of categorical features."""
+        return self.codes.shape[1]
+
+    @property
+    def onehot_width(self) -> int:
+        """Width of the one-hot encoding (sum of domain sizes)."""
+        return int(sum(self.n_levels))
+
+    def column(self, j: int) -> np.ndarray:
+        """The code vector of feature ``j``."""
+        return self.codes[:, j]
+
+    def index_of(self, name: str) -> int:
+        """Position of the feature called ``name``."""
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise SchemaError(
+                f"no feature {name!r}; available: {list(self.names)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Encodings
+    # ------------------------------------------------------------------
+    def onehot(self) -> np.ndarray:
+        """The one-hot encoding, ``(n, sum(n_levels))``, cached after first use.
+
+        Column blocks follow feature order; block ``j`` has width
+        ``n_levels[j]``.  Because domains are closed, the encoding of any
+        valid code vector is defined even for levels unseen in training —
+        the property that lets SVMs and k-NN sidestep the unseen-level
+        crashes that categorical tree implementations suffer
+        (paper, Section 6.2).
+        """
+        if self._onehot_cache is None:
+            if self.n_features == 0:
+                self._onehot_cache = np.zeros((self.n_rows, 0), dtype=np.float64)
+            else:
+                offsets = np.concatenate(([0], np.cumsum(self.n_levels)[:-1]))
+                flat = self.codes + offsets[np.newaxis, :]
+                out = np.zeros((self.n_rows, self.onehot_width), dtype=np.float64)
+                rows = np.repeat(np.arange(self.n_rows), self.n_features)
+                out[rows, flat.ravel()] = 1.0
+                self._onehot_cache = out
+        return self._onehot_cache
+
+    # ------------------------------------------------------------------
+    # Slicing
+    # ------------------------------------------------------------------
+    def take_rows(self, rows: np.ndarray) -> "CategoricalMatrix":
+        """Select examples by index array or boolean mask."""
+        rows = np.asarray(rows)
+        if rows.dtype == bool:
+            rows = np.flatnonzero(rows)
+        return CategoricalMatrix(self.codes[rows], self.n_levels, self.names)
+
+    def select_features(self, which: Sequence[int] | Sequence[str]) -> "CategoricalMatrix":
+        """Project onto a subset of features, by index or by name."""
+        indices = [
+            self.index_of(w) if isinstance(w, str) else int(w) for w in which
+        ]
+        for j in indices:
+            if not 0 <= j < self.n_features:
+                raise SchemaError(f"feature index {j} out of range")
+        return CategoricalMatrix(
+            self.codes[:, indices],
+            [self.n_levels[j] for j in indices],
+            [self.names[j] for j in indices],
+        )
+
+    def drop_features(self, which: Sequence[int] | Sequence[str]) -> "CategoricalMatrix":
+        """Project onto the complement of a feature subset."""
+        drop = {
+            self.index_of(w) if isinstance(w, str) else int(w) for w in which
+        }
+        keep = [j for j in range(self.n_features) if j not in drop]
+        return self.select_features(keep)
+
+    def replace_column(
+        self, j: int, codes: np.ndarray, n_levels: int, name: str | None = None
+    ) -> "CategoricalMatrix":
+        """Return a copy with feature ``j`` swapped for a recoded version.
+
+        Used by foreign-key domain compression, which maps an FK column
+        onto a smaller domain.
+        """
+        new_codes = self.codes.copy()
+        new_codes[:, j] = codes
+        levels = list(self.n_levels)
+        levels[j] = n_levels
+        names = list(self.names)
+        if name is not None:
+            names[j] = name
+        return CategoricalMatrix(new_codes, levels, names)
+
+    def __repr__(self) -> str:
+        return (
+            f"CategoricalMatrix(n={self.n_rows}, d={self.n_features}, "
+            f"onehot_width={self.onehot_width})"
+        )

@@ -1,0 +1,10 @@
+"""Linear models: L1-regularised logistic regression.
+
+Stands in for the paper's glmnet runs: logistic loss with an L1 penalty
+solved by FISTA (accelerated proximal gradient) over a geometric lambda
+path, with glmnet's knobs (``nlambda``, ``thresh``, ``maxit``) exposed.
+"""
+
+from repro.ml.linear.logistic import L1LogisticRegression, LogisticRegressionPath
+
+__all__ = ["L1LogisticRegression", "LogisticRegressionPath"]

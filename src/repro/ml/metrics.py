@@ -1,0 +1,49 @@
+"""Classification metrics used throughout the study.
+
+The paper reports holdout accuracy (Tables 2-6) and average test error
+(the simulation figures); both reduce to the zero-one loss implemented
+here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("metrics require at least one example")
+    return y_true, y_pred
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of predictions equal to the truth."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def zero_one_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of predictions differing from the truth (1 - accuracy)."""
+    return 1.0 - accuracy(y_true, y_pred)
+
+
+def confusion_counts(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """Binary confusion counts ``[[tn, fp], [fn, tp]]``.
+
+    Both inputs must be coded in {0, 1}.
+    """
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    values = np.unique(np.concatenate([y_true, y_pred]))
+    if values.size and (values.min() < 0 or values.max() > 1):
+        raise ValueError("confusion_counts expects binary labels coded 0/1")
+    out = np.zeros((2, 2), dtype=np.int64)
+    for t in (0, 1):
+        for p in (0, 1):
+            out[t, p] = int(np.sum((y_true == t) & (y_pred == p)))
+    return out

@@ -1,0 +1,11 @@
+"""Multi-layer perceptron with Adam, matching the paper's ANN setup.
+
+The paper's ANN is a two-hidden-layer MLP (256 and 64 units), ReLU
+activations, L2 weight penalty, trained with Adam (Kingma & Ba, 2015)
+with the learning rate and L2 strength tuned on the validation set.
+"""
+
+from repro.ml.neural.adam import AdamOptimizer
+from repro.ml.neural.mlp import MLPClassifier
+
+__all__ = ["AdamOptimizer", "MLPClassifier"]

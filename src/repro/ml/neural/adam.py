@@ -1,0 +1,70 @@
+"""The Adam stochastic optimizer (Kingma & Ba, 2015).
+
+Maintains per-parameter first and second moment estimates with bias
+correction.  Hyper-parameter defaults are the paper's ("the other
+hyper-parameters of the Adam algorithm used the default values"):
+``beta1=0.9``, ``beta2=0.999``, ``eps=1e-8``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AdamOptimizer:
+    """Adam over a list of parameter arrays updated in place.
+
+    Parameters
+    ----------
+    learning_rate:
+        Step size alpha.
+    beta1, beta2:
+        Exponential decay rates of the first/second moment estimates.
+    eps:
+        Numerical damping term in the denominator.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise ValueError("beta1 and beta2 must lie in [0, 1)")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: list[np.ndarray] | None = None
+        self._v: list[np.ndarray] | None = None
+        self._t = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Apply one Adam update to ``params`` given ``grads`` (in place)."""
+        if len(params) != len(grads):
+            raise ValueError("params and grads must have equal length")
+        if self._m is None:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        correction1 = 1.0 - b1**self._t
+        correction2 = 1.0 - b2**self._t
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * (g * g)
+            m_hat = m / correction1
+            v_hat = v / correction2
+            p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset(self) -> None:
+        """Forget all moment state (used when refitting an estimator)."""
+        self._m = None
+        self._v = None
+        self._t = 0

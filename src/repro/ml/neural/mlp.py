@@ -1,0 +1,147 @@
+"""Multi-layer perceptron classifier in plain numpy.
+
+Architecture per the paper's Section 3.2: hidden layers (256, 64) with
+ReLU activations, softmax output, cross-entropy loss, L2 weight penalty,
+Adam optimizer.  Hidden sizes, epochs and batch size are configurable so
+the scaled experiment profiles can trade fidelity for runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Estimator, check_fitted, check_X_y
+from repro.ml.encoding import CategoricalMatrix
+from repro.ml.neural.adam import AdamOptimizer
+from repro.rng import ensure_rng
+
+
+def _relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class MLPClassifier(Estimator):
+    """Feed-forward neural network classifier.
+
+    Parameters
+    ----------
+    hidden_sizes:
+        Hidden layer widths; the paper uses ``(256, 64)``.
+    l2:
+        L2 penalty coefficient on all weight matrices (not biases).
+    learning_rate:
+        Adam step size.
+    epochs:
+        Full passes over the training set.
+    batch_size:
+        Minibatch size.
+    random_state:
+        Seed for weight initialisation and batch shuffling.
+    """
+
+    _param_names = (
+        "hidden_sizes",
+        "l2",
+        "learning_rate",
+        "epochs",
+        "batch_size",
+        "random_state",
+    )
+
+    def __init__(
+        self,
+        hidden_sizes: tuple[int, ...] = (256, 64),
+        l2: float = 1e-4,
+        learning_rate: float = 1e-3,
+        epochs: int = 30,
+        batch_size: int = 128,
+        random_state: int | None = 0,
+    ):
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.l2 = l2
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.random_state = random_state
+
+    def fit(self, X: CategoricalMatrix, y: np.ndarray) -> "MLPClassifier":
+        y = check_X_y(X, y)
+        if any(h < 1 for h in self.hidden_sizes):
+            raise ValueError(f"hidden sizes must be positive, got {self.hidden_sizes}")
+        if self.l2 < 0:
+            raise ValueError(f"l2 must be >= 0, got {self.l2}")
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        rng = ensure_rng(self.random_state)
+        encoded = X.onehot()
+        n, d = encoded.shape
+        self.n_classes_ = max(int(y.max()) + 1, 2)
+        self.n_features_ = X.n_features
+        sizes = [d, *self.hidden_sizes, self.n_classes_]
+        # He initialisation suits ReLU layers.
+        self.weights_ = [
+            rng.normal(0.0, np.sqrt(2.0 / max(sizes[i], 1)), (sizes[i], sizes[i + 1]))
+            for i in range(len(sizes) - 1)
+        ]
+        self.biases_ = [np.zeros(sizes[i + 1]) for i in range(len(sizes) - 1)]
+        optimizer = AdamOptimizer(learning_rate=self.learning_rate)
+        onehot_y = np.zeros((n, self.n_classes_))
+        onehot_y[np.arange(n), y] = 1.0
+        self.loss_curve_: list[float] = []
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                loss = self._step(encoded[batch], onehot_y[batch], optimizer)
+                epoch_loss += loss * batch.size
+            self.loss_curve_.append(epoch_loss / n)
+        return self
+
+    def _forward(self, inputs: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        activations = [inputs]
+        for i, (W, b) in enumerate(zip(self.weights_, self.biases_)):
+            z = activations[-1] @ W + b
+            is_output = i == len(self.weights_) - 1
+            activations.append(_softmax(z) if is_output else _relu(z))
+        return activations[:-1], activations[-1]
+
+    def _step(
+        self, inputs: np.ndarray, targets: np.ndarray, optimizer: AdamOptimizer
+    ) -> float:
+        hidden, probs = self._forward(inputs)
+        m = inputs.shape[0]
+        eps = 1e-12
+        data_loss = -np.mean(np.sum(targets * np.log(probs + eps), axis=1))
+        reg_loss = 0.5 * self.l2 * sum(float(np.sum(W * W)) for W in self.weights_)
+        grads_w: list[np.ndarray] = [None] * len(self.weights_)  # type: ignore[list-item]
+        grads_b: list[np.ndarray] = [None] * len(self.biases_)  # type: ignore[list-item]
+        delta = (probs - targets) / m
+        for i in range(len(self.weights_) - 1, -1, -1):
+            grads_w[i] = hidden[i].T @ delta + self.l2 * self.weights_[i]
+            grads_b[i] = delta.sum(axis=0)
+            if i > 0:
+                delta = (delta @ self.weights_[i].T) * (hidden[i] > 0)
+        optimizer.step(self.weights_ + self.biases_, grads_w + grads_b)
+        return float(data_loss + reg_loss)
+
+    def predict_proba(self, X: CategoricalMatrix) -> np.ndarray:
+        """Softmax class probabilities."""
+        check_fitted(self, "weights_")
+        if X.n_features != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {X.n_features}"
+            )
+        _, probs = self._forward(X.onehot())
+        return probs
+
+    def predict(self, X: CategoricalMatrix) -> np.ndarray:
+        return np.argmax(self.predict_proba(X), axis=1)

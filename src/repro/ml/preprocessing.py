@@ -1,0 +1,114 @@
+"""Preprocessing utilities the paper applies before learning.
+
+Section 2.2: "We assume the features are categorical.  Numeric features
+can be discretized using standard techniques such as binning."  And from
+Section 3.1: multi-class ordinal targets are binarized "by grouping
+ordinal targets into lower and upper halves."  Both operations live
+here so the emulators and any downstream user share one implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.relational.column import CategoricalColumn, Domain
+
+_BINNING_STRATEGIES = ("width", "frequency")
+
+
+class Discretizer:
+    """Bin a numeric vector into a closed categorical domain.
+
+    Parameters
+    ----------
+    n_bins:
+        Number of output categories.
+    strategy:
+        ``'width'`` for equal-width bins over the fitted range;
+        ``'frequency'`` for (approximately) equal-count bins from the
+        fitted quantiles.
+
+    Values outside the fitted range clip into the first/last bin, so
+    the resulting domain stays closed — matching the paper's
+    closed-domain assumption.
+    """
+
+    def __init__(self, n_bins: int = 10, strategy: str = "width"):
+        if n_bins < 2:
+            raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+        if strategy not in _BINNING_STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {_BINNING_STRATEGIES}, got {strategy!r}"
+            )
+        self.n_bins = n_bins
+        self.strategy = strategy
+
+    def fit(self, values: np.ndarray) -> "Discretizer":
+        """Learn bin edges from a numeric sample."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 1 or values.size == 0:
+            raise ValueError("values must be a non-empty 1-D array")
+        if not np.all(np.isfinite(values)):
+            raise ValueError("values must be finite")
+        if self.strategy == "width":
+            low, high = float(values.min()), float(values.max())
+            if high == low:
+                high = low + 1.0
+            self.edges_ = np.linspace(low, high, self.n_bins + 1)[1:-1]
+        else:
+            quantiles = np.linspace(0, 1, self.n_bins + 1)[1:-1]
+            self.edges_ = np.unique(np.quantile(values, quantiles))
+        return self
+
+    @property
+    def n_bins_(self) -> int:
+        """Actual number of bins (ties can merge frequency bins)."""
+        self._check_fitted()
+        return len(self.edges_) + 1
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "edges_"):
+            raise NotFittedError("Discretizer must be fitted before transform")
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        """Map numeric values to bin codes in ``[0, n_bins_)``."""
+        self._check_fitted()
+        values = np.asarray(values, dtype=np.float64)
+        return np.searchsorted(self.edges_, values, side="right").astype(np.int64)
+
+    def to_column(self, name: str, values: np.ndarray) -> CategoricalColumn:
+        """Transform and wrap as a relational column with a bin domain."""
+        codes = self.transform(values)
+        domain = Domain.of_size(self.n_bins_, prefix=f"{name}_bin")
+        return CategoricalColumn(name, domain, codes)
+
+
+def binarize_ordinal(values: np.ndarray, n_levels: int | None = None) -> np.ndarray:
+    """Group ordinal codes into lower/upper halves (the paper's Sec 3.1).
+
+    Parameters
+    ----------
+    values:
+        Integer ordinal codes (e.g. star ratings coded 0..4).
+    n_levels:
+        Domain size; inferred as ``max(values) + 1`` when omitted.
+
+    Returns
+    -------
+    0 for the lower half of the domain, 1 for the upper half.  Odd-sized
+    domains put the middle level in the upper half (a 1-5 star rating
+    maps 1-2 → 0 and 3-5 → 1).
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.size == 0:
+        raise ValueError("cannot binarize an empty vector")
+    if values.min() < 0:
+        raise ValueError("ordinal codes must be non-negative")
+    k = int(n_levels if n_levels is not None else values.max() + 1)
+    if values.max() >= k:
+        raise ValueError(f"codes exceed the stated domain size {k}")
+    if k < 2:
+        raise ValueError("binarization needs at least two levels")
+    threshold = k // 2
+    return (values >= threshold).astype(np.int64)

@@ -1,0 +1,18 @@
+"""Kernel support vector machines trained with SMO.
+
+The paper evaluates three SVMs (linear, quadratic-polynomial, RBF) via
+R's ``e1071``/libsvm.  :class:`KernelSVC` solves the same soft-margin
+dual problem with sequential minimal optimisation on one-hot encoded
+inputs, exposing the identical ``C``/``gamma`` hyper-parameter surface.
+"""
+
+from repro.ml.svm.kernels import kernel_function, linear_kernel, polynomial_kernel, rbf_kernel
+from repro.ml.svm.svc import KernelSVC
+
+__all__ = [
+    "KernelSVC",
+    "kernel_function",
+    "linear_kernel",
+    "polynomial_kernel",
+    "rbf_kernel",
+]

@@ -1,0 +1,50 @@
+"""Kernel functions matching the paper's Section 3.2 definitions.
+
+- linear: ``k(x, z) = x·z``
+- polynomial (degree 2): ``k(x, z) = (gamma · x·z + coef0)^2``
+- RBF: ``k(x, z) = exp(-gamma · ||x - z||^2)``
+
+All kernels operate on 2-D row-example matrices and return the Gram
+block ``K[i, j] = k(A_i, B_j)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def linear_kernel(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Gram block of the linear kernel."""
+    return A @ B.T
+
+
+def polynomial_kernel(
+    A: np.ndarray, B: np.ndarray, gamma: float = 1.0, degree: int = 2, coef0: float = 1.0
+) -> np.ndarray:
+    """Gram block of the polynomial kernel ``(gamma x·z + coef0)^degree``."""
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+    return (gamma * (A @ B.T) + coef0) ** degree
+
+
+def rbf_kernel(A: np.ndarray, B: np.ndarray, gamma: float = 1.0) -> np.ndarray:
+    """Gram block of the Gaussian RBF kernel ``exp(-gamma ||x-z||^2)``."""
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+    sq_a = np.sum(A * A, axis=1)[:, np.newaxis]
+    sq_b = np.sum(B * B, axis=1)[np.newaxis, :]
+    sq_dist = np.maximum(sq_a + sq_b - 2.0 * (A @ B.T), 0.0)
+    return np.exp(-gamma * sq_dist)
+
+
+def kernel_function(name: str, gamma: float = 1.0, degree: int = 2, coef0: float = 1.0):
+    """Resolve a kernel name to a two-argument Gram-block function."""
+    if name == "linear":
+        return linear_kernel
+    if name in ("poly", "polynomial", "quadratic"):
+        return lambda A, B: polynomial_kernel(A, B, gamma=gamma, degree=degree, coef0=coef0)
+    if name == "rbf":
+        return lambda A, B: rbf_kernel(A, B, gamma=gamma)
+    raise ValueError(
+        f"unknown kernel {name!r}; choose from 'linear', 'poly', 'rbf'"
+    )

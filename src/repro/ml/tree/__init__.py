@@ -1,0 +1,22 @@
+"""CART decision trees on categorical features.
+
+Implements the three split criteria the paper evaluates — gini,
+information gain, and gain ratio — with rpart-style ``minsplit`` and
+``cp`` hyper-parameters, binary splits over categorical level subsets,
+and configurable handling of levels unseen during training (the default
+reproduces the crash behaviour of the R packages the paper used).
+"""
+
+from repro.ml.tree.cart import DecisionTreeClassifier
+from repro.ml.tree.criteria import entropy, gini, split_information
+from repro.ml.tree.export import render_tree, to_dot, tree_statistics
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "entropy",
+    "gini",
+    "render_tree",
+    "split_information",
+    "to_dot",
+    "tree_statistics",
+]

@@ -1,0 +1,144 @@
+"""Tree rendering and structural statistics.
+
+Section 6.1 of the paper motivates foreign-key domain compression with an
+interpretability argument: trees splitting on a thousand-level foreign
+key are unreadable.  :func:`render_tree` makes that concrete — the
+rendering truncates level sets, and :func:`tree_statistics` quantifies
+how heavily each feature (in particular the FK) is used for partitioning,
+which Sections 4-5 rely on to explain the NoJoin results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import check_fitted
+from repro.ml.tree.cart import DecisionTreeClassifier, TreeNode
+
+#: How many levels of a split subset to show before eliding.
+_MAX_LEVELS_SHOWN = 4
+
+
+def render_tree(
+    tree: DecisionTreeClassifier,
+    feature_levels: dict[str, list] | None = None,
+    max_depth: int | None = None,
+) -> str:
+    """Render a fitted tree as indented text.
+
+    Parameters
+    ----------
+    tree:
+        A fitted :class:`DecisionTreeClassifier`.
+    feature_levels:
+        Optional ``{feature name: labels in code order}`` for decoding the
+        split subsets; codes are shown when absent.
+    max_depth:
+        Truncate the rendering below this depth.
+    """
+    check_fitted(tree, "root_")
+    lines: list[str] = []
+
+    def describe_split(node: TreeNode) -> str:
+        name = tree.feature_names_[node.feature]
+        left_codes = np.flatnonzero(node.goes_left)
+        if feature_levels and name in feature_levels:
+            labels = [str(feature_levels[name][c]) for c in left_codes]
+        else:
+            labels = [str(c) for c in left_codes]
+        shown = labels[:_MAX_LEVELS_SHOWN]
+        suffix = (
+            f", ... ({len(labels) - _MAX_LEVELS_SHOWN} more)"
+            if len(labels) > _MAX_LEVELS_SHOWN
+            else ""
+        )
+        return f"{name} in {{{', '.join(shown)}{suffix}}}"
+
+    def walk(node: TreeNode, indent: int) -> None:
+        pad = "  " * indent
+        if node.is_leaf:
+            lines.append(
+                f"{pad}leaf: class={node.prediction} "
+                f"counts={node.counts.tolist()}"
+            )
+            return
+        if max_depth is not None and indent >= max_depth:
+            lines.append(f"{pad}... (subtree truncated)")
+            return
+        lines.append(f"{pad}if {describe_split(node)}:")
+        walk(node.left, indent + 1)
+        lines.append(f"{pad}else:")
+        walk(node.right, indent + 1)
+
+    walk(tree.root_, 0)
+    return "\n".join(lines)
+
+
+@dataclass
+class TreeStatistics:
+    """Structural summary of a fitted tree."""
+
+    n_leaves: int
+    depth: int
+    n_splits: int
+    split_counts: dict[str, int]
+
+    def most_used_feature(self) -> str | None:
+        """The feature used in the most splits (None for a stump)."""
+        if not self.n_splits:
+            return None
+        return max(self.split_counts, key=lambda k: self.split_counts[k])
+
+    def usage_fraction(self, feature: str) -> float:
+        """Fraction of splits that use ``feature``."""
+        if not self.n_splits:
+            return 0.0
+        return self.split_counts.get(feature, 0) / self.n_splits
+
+
+def tree_statistics(tree: DecisionTreeClassifier) -> TreeStatistics:
+    """Compute :class:`TreeStatistics` for a fitted tree."""
+    check_fitted(tree, "root_")
+    counts = tree.split_counts_
+    return TreeStatistics(
+        n_leaves=tree.n_leaves_,
+        depth=tree.depth_,
+        n_splits=sum(counts.values()),
+        split_counts=dict(counts),
+    )
+
+
+def to_dot(tree: DecisionTreeClassifier, graph_name: str = "tree") -> str:
+    """Render a fitted tree as a Graphviz DOT string.
+
+    Split nodes show the feature and the size of its left level subset
+    (showing thousands of FK levels verbatim is the unreadability
+    problem Section 6.1 motivates compression with); leaves show the
+    predicted class and training counts.
+    """
+    check_fitted(tree, "root_")
+    lines = [f"digraph {graph_name} {{", "  node [shape=box];"]
+    counter = {"next": 0}
+
+    def walk(node: TreeNode) -> int:
+        node_id = counter["next"]
+        counter["next"] += 1
+        if node.is_leaf:
+            label = f"class={node.prediction}\\ncounts={node.counts.tolist()}"
+            lines.append(f'  n{node_id} [label="{label}", style=filled];')
+            return node_id
+        feature = tree.feature_names_[node.feature]
+        subset_size = int(np.count_nonzero(node.goes_left))
+        label = f"{feature} in subset({subset_size} levels)"
+        lines.append(f'  n{node_id} [label="{label}"];')
+        left_id = walk(node.left)
+        right_id = walk(node.right)
+        lines.append(f'  n{node_id} -> n{left_id} [label="yes"];')
+        lines.append(f'  n{node_id} -> n{right_id} [label="no"];')
+        return node_id
+
+    walk(tree.root_)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""In-memory relational substrate used throughout the reproduction.
+
+The paper's setting is a star schema: a fact table
+``S(SID, Y, X_S, FK_1, ..., FK_q)`` referencing dimension tables
+``R_i(RID_i, X_Ri)`` through key-foreign-key (KFK) constraints.  This
+subpackage provides everything needed to represent and manipulate such
+schemas: closed categorical domains, columnar tables, KFK constraints,
+projected equi-joins, and functional-dependency auditing.
+"""
+
+from repro.relational.column import CategoricalColumn, Domain
+from repro.relational.dependencies import (
+    KFKAuditReport,
+    audit_star_schema,
+    holds_functional_dependency,
+    tuple_ratio,
+)
+from repro.relational.io import (
+    read_csv_columns,
+    star_schema_from_csv,
+    table_from_csv,
+)
+from repro.relational.join import join_all, join_subset, kfk_join
+from repro.relational.schema import KFKConstraint, StarSchema
+from repro.relational.table import Table
+
+__all__ = [
+    "CategoricalColumn",
+    "Domain",
+    "KFKAuditReport",
+    "KFKConstraint",
+    "StarSchema",
+    "Table",
+    "audit_star_schema",
+    "holds_functional_dependency",
+    "join_all",
+    "join_subset",
+    "kfk_join",
+    "read_csv_columns",
+    "star_schema_from_csv",
+    "table_from_csv",
+    "tuple_ratio",
+]

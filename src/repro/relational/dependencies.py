@@ -1,0 +1,130 @@
+"""Functional-dependency auditing and tuple ratios.
+
+A KFK join plants the functional dependency ``FK → X_R`` in the joined
+table: two rows agreeing on the foreign key must agree on every foreign
+feature (footnote 1 of the paper).  The helpers here verify such FDs on
+table instances and compute the tuple ratios that drive the paper's
+join-avoidance rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.relational.schema import StarSchema
+from repro.relational.table import Table
+
+
+def holds_functional_dependency(
+    table: Table, determinants: list[str], dependents: list[str]
+) -> bool:
+    """Check whether ``determinants → dependents`` holds in ``table``.
+
+    Groups rows by the determinant code combination and verifies each
+    group carries a single dependent combination.  Runs in
+    ``O(n log n)`` via lexicographic sorting.
+    """
+    if not dependents:
+        return True
+    if table.n_rows == 0:
+        return True
+    det = np.stack([table.codes(c) for c in determinants], axis=1) if determinants \
+        else np.zeros((table.n_rows, 1), dtype=np.int64)
+    dep = np.stack([table.codes(c) for c in dependents], axis=1)
+    order = np.lexsort(det.T[::-1])
+    det_sorted = det[order]
+    dep_sorted = dep[order]
+    same_group = np.all(det_sorted[1:] == det_sorted[:-1], axis=1)
+    dep_equal = np.all(dep_sorted[1:] == dep_sorted[:-1], axis=1)
+    return bool(np.all(dep_equal[same_group]))
+
+
+def tuple_ratio(schema: StarSchema, dimension: str) -> float:
+    """Convenience alias for :meth:`StarSchema.tuple_ratio`."""
+    return schema.tuple_ratio(dimension)
+
+
+@dataclass
+class DimensionAudit:
+    """Audit findings for a single dimension table."""
+
+    dimension: str
+    fk_column: str
+    tuple_ratio: float
+    fd_holds: bool
+    n_rows: int
+    n_foreign_features: int
+    fk_levels_unused: int
+
+    def __str__(self) -> str:
+        fd = "holds" if self.fd_holds else "VIOLATED"
+        return (
+            f"{self.dimension}: FK={self.fk_column} tuple_ratio="
+            f"{self.tuple_ratio:.2f} FD {fd}, {self.n_foreign_features} "
+            f"foreign features, {self.fk_levels_unused} unused FK levels"
+        )
+
+
+@dataclass
+class KFKAuditReport:
+    """Full audit of a star schema's KFK structure.
+
+    Produced by :func:`audit_star_schema`; consumed by the join-safety
+    advisor and by tests asserting that generators build valid data.
+    """
+
+    fact_rows: int
+    dimensions: list[DimensionAudit] = field(default_factory=list)
+
+    @property
+    def all_fds_hold(self) -> bool:
+        """Whether ``FK → X_R`` held in the joined instance for every dim."""
+        return all(d.fd_holds for d in self.dimensions)
+
+    def audit_for(self, dimension: str) -> DimensionAudit:
+        """Return the audit entry for ``dimension``."""
+        for entry in self.dimensions:
+            if entry.dimension == dimension:
+                return entry
+        raise KeyError(dimension)
+
+    def __str__(self) -> str:
+        lines = [f"KFK audit: fact has {self.fact_rows} rows"]
+        lines += [f"  - {entry}" for entry in self.dimensions]
+        return "\n".join(lines)
+
+
+def audit_star_schema(schema: StarSchema) -> KFKAuditReport:
+    """Audit every KFK constraint of ``schema``.
+
+    For each dimension: materialise the single-dimension join, verify the
+    induced FD ``FK → X_R``, record the tuple ratio and how many FK
+    domain levels never occur in the fact table (the unseen-FK exposure
+    that Section 6.2's smoothing addresses).
+    """
+    from repro.relational.join import kfk_join  # local import avoids a cycle
+
+    report = KFKAuditReport(fact_rows=schema.fact.n_rows)
+    for name in schema.dimension_names:
+        constraint = schema.constraint(name)
+        joined = kfk_join(schema, name)
+        foreign = schema.foreign_features(name)
+        fk_col = schema.fact.column(constraint.fk_column)
+        used = np.zeros(len(fk_col.domain), dtype=bool)
+        used[fk_col.codes] = True
+        report.dimensions.append(
+            DimensionAudit(
+                dimension=name,
+                fk_column=constraint.fk_column,
+                tuple_ratio=schema.tuple_ratio(name),
+                fd_holds=holds_functional_dependency(
+                    joined, [constraint.fk_column], foreign
+                ),
+                n_rows=schema.dimension(name).n_rows,
+                n_foreign_features=len(foreign),
+                fk_levels_unused=int((~used).sum()),
+            )
+        )
+    return report

@@ -1,0 +1,148 @@
+"""CSV ingestion for downstream users' own star schemas.
+
+The reproduction's generators build tables programmatically, but a user
+applying the library to their own data starts from flat files.  These
+helpers load CSVs into :class:`~repro.relational.table.Table` objects
+(every column treated as categorical, per the paper's Section 2.2
+assumption) and assemble them into a validated
+:class:`~repro.relational.schema.StarSchema`.
+
+Foreign-key/dimension-key domain alignment — the invariant the join
+machinery relies on — is handled here: the key columns of the fact and
+dimension files are unioned into one shared closed domain.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.errors import SchemaError
+from repro.relational.column import CategoricalColumn, Domain
+from repro.relational.schema import KFKConstraint, StarSchema
+from repro.relational.table import Table
+
+
+def read_csv_columns(path: str | Path) -> dict[str, list[str]]:
+    """Read a CSV with a header row into ``{column: values}`` (as strings)."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path}: empty CSV") from None
+        if len(set(header)) != len(header):
+            raise SchemaError(f"{path}: duplicate column names in header")
+        columns: dict[str, list[str]] = {name: [] for name in header}
+        for line_number, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise SchemaError(
+                    f"{path}:{line_number}: expected {len(header)} fields, "
+                    f"got {len(row)}"
+                )
+            for name, value in zip(header, row):
+                columns[name].append(value)
+    return columns
+
+
+def table_from_csv(
+    path: str | Path,
+    name: str | None = None,
+    domains: dict[str, Domain] | None = None,
+) -> Table:
+    """Load a CSV file as a categorical :class:`Table`.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row; every column becomes categorical.
+    name:
+        Table name; defaults to the file stem.
+    domains:
+        Optional pre-built domains per column (used to share key domains
+        across tables); unlisted columns infer their domain from the
+        data in first-appearance order.
+    """
+    path = Path(path)
+    columns_data = read_csv_columns(path)
+    domains = domains or {}
+    columns = [
+        CategoricalColumn.from_labels(col, values, domain=domains.get(col))
+        for col, values in columns_data.items()
+    ]
+    return Table(name or path.stem, columns)
+
+
+def star_schema_from_csv(
+    fact_path: str | Path,
+    target: str,
+    dimensions: list[tuple[str | Path, str, str]],
+    fact_key: str | None = None,
+    open_fks: set[str] | frozenset[str] = frozenset(),
+) -> StarSchema:
+    """Assemble a validated star schema from CSV files.
+
+    Parameters
+    ----------
+    fact_path:
+        Fact-table CSV.
+    target:
+        Class-label column in the fact table.
+    dimensions:
+        ``(csv path, fk column in fact, rid column in dimension)`` per
+        dimension table.
+    fact_key:
+        Optional surrogate-key column in the fact table.
+    open_fks:
+        Foreign keys with open domains (never usable as features).
+
+    The foreign-key and dimension-key columns are encoded against a
+    shared domain (the union of values on both sides, fact first), which
+    is what referential-integrity validation and the hash join require.
+    """
+    fact_data = read_csv_columns(Path(fact_path))
+    dim_data = [
+        (Path(path), fk, rid, read_csv_columns(Path(path)))
+        for path, fk, rid in dimensions
+    ]
+    key_domains: dict[str, Domain] = {}
+    dim_key_domains: list[Domain] = []
+    for path, fk, rid, data in dim_data:
+        if fk not in fact_data:
+            raise SchemaError(f"fact table lacks foreign key column {fk!r}")
+        if rid not in data:
+            raise SchemaError(f"{path}: missing key column {rid!r}")
+        seen: dict[str, None] = {}
+        for value in list(fact_data[fk]) + list(data[rid]):
+            seen.setdefault(value, None)
+        shared = Domain(seen.keys())
+        key_domains[fk] = shared
+        dim_key_domains.append(shared)
+
+    fact = Table(
+        Path(fact_path).stem,
+        [
+            CategoricalColumn.from_labels(col, values, domain=key_domains.get(col))
+            for col, values in fact_data.items()
+        ],
+    )
+    dimension_tables = []
+    for (path, fk, rid, data), shared in zip(dim_data, dim_key_domains):
+        table = Table(
+            path.stem,
+            [
+                CategoricalColumn.from_labels(
+                    col, values, domain=shared if col == rid else None
+                )
+                for col, values in data.items()
+            ],
+        )
+        dimension_tables.append((table, KFKConstraint(fk, table.name, rid)))
+    return StarSchema(
+        fact=fact,
+        target=target,
+        dimensions=dimension_tables,
+        fact_key=fact_key,
+        open_fks=frozenset(open_fks),
+    )

@@ -1,0 +1,108 @@
+"""Projected key-foreign-key equi-joins.
+
+The paper's full training table is ``T ← π(R ⋈_{RID=FK} S)`` — the fact
+table with each dimension's foreign features appended via its foreign key.
+Because a :class:`~repro.relational.schema.StarSchema` requires the FK and
+RID columns to share a single :class:`~repro.relational.column.Domain`,
+the join reduces to an index lookup: build a code→row map for the
+dimension key, then gather each foreign-feature column at the fact's FK
+codes.  This is a hash join with the hash table precomputed by encoding.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.relational.column import CategoricalColumn
+from repro.relational.schema import StarSchema
+from repro.relational.table import Table
+
+
+def _dimension_row_index(schema: StarSchema, name: str) -> np.ndarray:
+    """Map each dimension-key code to its row position in the dimension.
+
+    Entries for codes that never occur in the dimension are ``-1``;
+    referential integrity guarantees the fact table never looks them up.
+    """
+    table = schema.dimension(name)
+    rid = table.column(schema.constraint(name).rid_column)
+    index = np.full(len(rid.domain), -1, dtype=np.int64)
+    index[rid.codes] = np.arange(len(rid.codes), dtype=np.int64)
+    return index
+
+
+def kfk_join(schema: StarSchema, name: str, fact: Table | None = None) -> Table:
+    """Join one dimension's foreign features onto the fact table.
+
+    Parameters
+    ----------
+    schema:
+        The star schema holding the tables and the KFK constraint.
+    name:
+        Which dimension to join in.
+    fact:
+        The table to extend; defaults to ``schema.fact``.  Passing the
+        output of a previous :func:`kfk_join` lets callers fold in several
+        dimensions (that is exactly what :func:`join_subset` does).
+
+    Returns
+    -------
+    Table
+        ``fact`` with one column per foreign feature of ``name`` appended.
+        Appended columns keep their dimension-table names; a clash with an
+        existing fact column raises :class:`SchemaError`.
+    """
+    fact = schema.fact if fact is None else fact
+    constraint = schema.constraint(name)
+    dim = schema.dimension(name)
+    if constraint.fk_column not in fact:
+        raise SchemaError(
+            f"cannot join {name!r}: table {fact.name!r} lacks foreign key "
+            f"{constraint.fk_column!r}"
+        )
+    row_of_code = _dimension_row_index(schema, name)
+    dim_rows = row_of_code[fact.codes(constraint.fk_column)]
+    if dim_rows.size and dim_rows.min() < 0:
+        raise SchemaError(
+            f"cannot join {name!r}: dangling foreign keys in {fact.name!r}"
+        )
+    result = fact
+    for feature in schema.foreign_features(name):
+        if feature in fact:
+            raise SchemaError(
+                f"cannot join {name!r}: column {feature!r} already exists "
+                f"in {fact.name!r}"
+            )
+        column = dim.column(feature)
+        result = result.with_column(
+            CategoricalColumn(feature, column.domain, column.codes[dim_rows])
+        )
+    return result
+
+
+def join_subset(schema: StarSchema, names: Sequence[str]) -> Table:
+    """Join a chosen subset of dimensions onto the fact table.
+
+    This powers the paper's Table 4 robustness study, which discards
+    dimension tables one or two at a time: ``join_subset(schema, kept)``
+    materialises exactly the features of the kept dimensions.
+    """
+    unknown = [n for n in names if n not in schema.dimension_names]
+    if unknown:
+        raise SchemaError(
+            f"unknown dimensions {unknown}; available: {schema.dimension_names}"
+        )
+    if len(set(names)) != len(names):
+        raise SchemaError(f"duplicate dimensions in join request: {list(names)}")
+    result = schema.fact
+    for name in names:
+        result = kfk_join(schema, name, fact=result)
+    return result.renamed(f"{schema.fact.name}_joined")
+
+
+def join_all(schema: StarSchema) -> Table:
+    """Materialise the paper's full training table ``T`` (all dimensions)."""
+    return join_subset(schema, schema.dimension_names)

@@ -1,0 +1,238 @@
+"""Star schemas with key-foreign-key constraints.
+
+The paper's data model (Section 2.1): a fact table
+``S(SID, Y, X_S, FK_1, ..., FK_q)`` holds the target ``Y``, home features
+``X_S``, and one foreign key per dimension table
+``R_i(RID_i, X_Ri)``.  :class:`StarSchema` bundles the tables with their
+:class:`KFKConstraint` links, validates referential integrity, and exposes
+the quantities the paper's analysis revolves around (tuple ratios, home
+vs. foreign feature splits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ReferentialIntegrityError, SchemaError
+from repro.relational.table import Table
+
+
+@dataclass(frozen=True)
+class KFKConstraint:
+    """A key-foreign-key link from the fact table into a dimension table.
+
+    Attributes
+    ----------
+    fk_column:
+        Name of the foreign-key column in the fact table.
+    dimension:
+        Name of the referenced dimension table.
+    rid_column:
+        Name of the primary-key column in the dimension table.
+    """
+
+    fk_column: str
+    dimension: str
+    rid_column: str
+
+    def __str__(self) -> str:
+        return f"{self.fk_column} -> {self.dimension}.{self.rid_column}"
+
+
+class StarSchema:
+    """A fact table joined to dimension tables via KFK constraints.
+
+    Parameters
+    ----------
+    fact:
+        The fact table ``S``.
+    target:
+        Name of the class-label column ``Y`` in ``S``.
+    dimensions:
+        ``(dimension table, constraint)`` pairs, one per dimension.
+    fact_key:
+        Optional name of the surrogate key ``SID`` in ``S``.  Surrogate
+        keys are never used as features (footnote 3 of the paper).
+    open_fks:
+        Foreign keys with "open" domains (e.g. Expedia's search id) whose
+        dimension can never be discarded *or* used as a feature; they are
+        excluded from feature sets but still join-able.
+    validate:
+        When true (default) validate structure and referential integrity.
+    """
+
+    def __init__(
+        self,
+        fact: Table,
+        target: str,
+        dimensions: list[tuple[Table, KFKConstraint]],
+        fact_key: str | None = None,
+        open_fks: frozenset[str] | set[str] = frozenset(),
+        validate: bool = True,
+    ):
+        self.fact = fact
+        self.target = target
+        self.fact_key = fact_key
+        self.open_fks = frozenset(open_fks)
+        self._dimensions = {c.dimension: (table, c) for table, c in dimensions}
+        if len(self._dimensions) != len(dimensions):
+            raise SchemaError("dimension table names must be unique")
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def q(self) -> int:
+        """Number of dimension tables."""
+        return len(self._dimensions)
+
+    @property
+    def dimension_names(self) -> list[str]:
+        """Names of the dimension tables, in declaration order."""
+        return list(self._dimensions)
+
+    @property
+    def constraints(self) -> list[KFKConstraint]:
+        """All KFK constraints, in declaration order."""
+        return [c for _, c in self._dimensions.values()]
+
+    def dimension(self, name: str) -> Table:
+        """Return the dimension table called ``name``."""
+        try:
+            return self._dimensions[name][0]
+        except KeyError:
+            raise SchemaError(
+                f"no dimension table {name!r}; available: {self.dimension_names}"
+            ) from None
+
+    def constraint(self, name: str) -> KFKConstraint:
+        """Return the KFK constraint for dimension ``name``."""
+        try:
+            return self._dimensions[name][1]
+        except KeyError:
+            raise SchemaError(
+                f"no dimension table {name!r}; available: {self.dimension_names}"
+            ) from None
+
+    @property
+    def fk_columns(self) -> list[str]:
+        """Foreign-key column names in the fact table."""
+        return [c.fk_column for c in self.constraints]
+
+    @property
+    def home_features(self) -> list[str]:
+        """Names of the home features ``X_S`` (fact minus SID, Y, FKs)."""
+        reserved = {self.target, self.fact_key, *self.fk_columns}
+        return [n for n in self.fact.column_names if n not in reserved]
+
+    def foreign_features(self, name: str) -> list[str]:
+        """Names of the foreign features ``X_Ri`` of dimension ``name``."""
+        table = self.dimension(name)
+        rid = self.constraint(name).rid_column
+        return [n for n in table.column_names if n != rid]
+
+    def usable_fk_columns(self) -> list[str]:
+        """Foreign keys with closed domains, i.e. usable as features."""
+        return [c for c in self.fk_columns if c not in self.open_fks]
+
+    # ------------------------------------------------------------------
+    # Paper quantities
+    # ------------------------------------------------------------------
+    def tuple_ratio(self, name: str) -> float:
+        """The paper's tuple ratio ``n_S / n_Ri`` for dimension ``name``.
+
+        Only the dimension's *cardinality* is needed — the basis for the
+        claim that join-avoidance decisions require no access to the
+        dimension's contents.
+        """
+        n_r = self.dimension(name).n_rows
+        if n_r == 0:
+            raise SchemaError(f"dimension {name!r} is empty")
+        return self.fact.n_rows / n_r
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structure, key uniqueness, and referential integrity."""
+        if self.target not in self.fact:
+            raise SchemaError(
+                f"fact table {self.fact.name!r} lacks target column "
+                f"{self.target!r}"
+            )
+        if self.fact_key is not None:
+            self.fact.require_primary_key(self.fact_key)
+        for name, (table, constraint) in self._dimensions.items():
+            if constraint.fk_column not in self.fact:
+                raise SchemaError(
+                    f"fact table lacks foreign key {constraint.fk_column!r} "
+                    f"for dimension {name!r}"
+                )
+            if constraint.rid_column not in table:
+                raise SchemaError(
+                    f"dimension {name!r} lacks key column "
+                    f"{constraint.rid_column!r}"
+                )
+            table.require_primary_key(constraint.rid_column)
+            self._check_referential_integrity(table, constraint)
+        for fk in self.open_fks:
+            if fk not in self.fk_columns:
+                raise SchemaError(f"open_fks entry {fk!r} is not a foreign key")
+
+    def _check_referential_integrity(
+        self, table: Table, constraint: KFKConstraint
+    ) -> None:
+        fk_col = self.fact.column(constraint.fk_column)
+        rid_col = table.column(constraint.rid_column)
+        if fk_col.domain != rid_col.domain:
+            raise ReferentialIntegrityError(
+                f"constraint {constraint}: foreign-key domain differs from "
+                f"dimension-key domain; the reproduction requires shared "
+                f"Domain objects so joins are pure code lookups"
+            )
+        present = np.zeros(len(rid_col.domain), dtype=bool)
+        present[rid_col.codes] = True
+        dangling = np.unique(fk_col.codes[~present[fk_col.codes]])
+        if dangling.size:
+            labels = rid_col.domain.decode(dangling[:5])
+            raise ReferentialIntegrityError(
+                f"constraint {constraint}: fact rows reference missing "
+                f"dimension keys, e.g. {labels}"
+            )
+
+    # ------------------------------------------------------------------
+    # Join graph
+    # ------------------------------------------------------------------
+    def join_graph(self) -> nx.Graph:
+        """The schema as a graph: fact node joined to each dimension.
+
+        For a star schema this is always a star; the graph form exists so
+        downstream tooling (e.g. the advisor's report) can render and
+        reason about the topology uniformly.
+        """
+        graph = nx.Graph()
+        graph.add_node(self.fact.name, kind="fact", rows=self.fact.n_rows)
+        for name, (table, constraint) in self._dimensions.items():
+            graph.add_node(name, kind="dimension", rows=table.n_rows)
+            graph.add_edge(
+                self.fact.name,
+                name,
+                fk=constraint.fk_column,
+                rid=constraint.rid_column,
+                tuple_ratio=self.tuple_ratio(name),
+            )
+        return graph
+
+    def __repr__(self) -> str:
+        dims = ", ".join(
+            f"{name}({self.dimension(name).n_rows})" for name in self.dimension_names
+        )
+        return (
+            f"StarSchema(fact={self.fact.name!r} rows={self.fact.n_rows}, "
+            f"target={self.target!r}, dims=[{dims}])"
+        )

@@ -1,0 +1,186 @@
+"""Columnar tables over categorical columns.
+
+A :class:`Table` is a named, ordered collection of equal-length
+:class:`~repro.relational.column.CategoricalColumn` objects.  It supports
+the handful of relational operations the reproduction needs: projection,
+selection by row indices or boolean mask, column addition/removal, and
+primary-key checks.  Tables are immutable by convention: every operation
+returns a new table sharing column arrays where possible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.relational.column import CategoricalColumn, Domain
+
+
+class Table:
+    """A named relation with categorical columns.
+
+    Parameters
+    ----------
+    name:
+        Table name (used in error messages and join output provenance).
+    columns:
+        Columns in schema order.  Names must be unique and lengths equal.
+    """
+
+    def __init__(self, name: str, columns: Iterable[CategoricalColumn]):
+        columns = list(columns)
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"table {name!r}: duplicate column names {duplicates}")
+        lengths = {len(column) for column in columns}
+        if len(lengths) > 1:
+            raise SchemaError(
+                f"table {name!r}: ragged column lengths {sorted(lengths)}"
+            )
+        self.name = name
+        self._columns = {column.name: column for column in columns}
+
+    @classmethod
+    def from_labels(cls, name: str, data: dict[str, Sequence]) -> "Table":
+        """Build a table from ``{column: label sequence}``, inferring domains."""
+        return cls(
+            name,
+            [CategoricalColumn.from_labels(col, values) for col, values in data.items()],
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Number of tuples in the relation."""
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in schema order."""
+        return list(self._columns)
+
+    @property
+    def columns(self) -> list[CategoricalColumn]:
+        """The column objects in schema order."""
+        return list(self._columns.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def column(self, name: str) -> CategoricalColumn:
+        """Return the column named ``name``.
+
+        Raises
+        ------
+        SchemaError
+            If no such column exists.
+        """
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"available: {self.column_names}"
+            ) from None
+
+    def codes(self, name: str) -> np.ndarray:
+        """Shorthand for ``table.column(name).codes``."""
+        return self.column(name).codes
+
+    def domain(self, name: str) -> Domain:
+        """Shorthand for ``table.column(name).domain``."""
+        return self.column(name).domain
+
+    # ------------------------------------------------------------------
+    # Relational operations
+    # ------------------------------------------------------------------
+    def project(self, names: Sequence[str], table_name: str | None = None) -> "Table":
+        """Return a table with only ``names``, in the given order."""
+        return Table(table_name or self.name, [self.column(n) for n in names])
+
+    def drop(self, names: Iterable[str], table_name: str | None = None) -> "Table":
+        """Return a table without the columns in ``names``."""
+        dropped = set(names)
+        missing = dropped - set(self._columns)
+        if missing:
+            raise SchemaError(
+                f"table {self.name!r}: cannot drop missing columns {sorted(missing)}"
+            )
+        keep = [c for c in self._columns.values() if c.name not in dropped]
+        return Table(table_name or self.name, keep)
+
+    def select(self, rows: np.ndarray, table_name: str | None = None) -> "Table":
+        """Return a table with the rows picked by index array or boolean mask."""
+        rows = np.asarray(rows)
+        if rows.dtype == bool:
+            if rows.shape != (self.n_rows,):
+                raise SchemaError(
+                    f"table {self.name!r}: boolean mask of shape {rows.shape} "
+                    f"does not match {self.n_rows} rows"
+                )
+            rows = np.flatnonzero(rows)
+        return Table(table_name or self.name, [c.take(rows) for c in self.columns])
+
+    def with_column(self, column: CategoricalColumn) -> "Table":
+        """Return a table with ``column`` appended (or replaced in place)."""
+        if len(column) != self.n_rows and self._columns:
+            raise SchemaError(
+                f"table {self.name!r}: new column {column.name!r} has "
+                f"{len(column)} rows, table has {self.n_rows}"
+            )
+        columns = [c for c in self.columns if c.name != column.name]
+        columns.append(column)
+        return Table(self.name, columns)
+
+    def renamed(self, name: str) -> "Table":
+        """Return the same table under a new name."""
+        return Table(name, self.columns)
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def is_primary_key(self, name: str) -> bool:
+        """Whether column ``name`` uniquely identifies rows."""
+        return self.column(name).is_unique()
+
+    def require_primary_key(self, name: str) -> None:
+        """Raise :class:`SchemaError` unless ``name`` is a primary key."""
+        if not self.is_primary_key(name):
+            raise SchemaError(
+                f"table {self.name!r}: column {name!r} is not unique and "
+                f"cannot serve as a primary key"
+            )
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, rows={self.n_rows}, "
+            f"columns={self.column_names})"
+        )
+
+    def head(self, n: int = 5) -> str:
+        """Render the first ``n`` rows as an aligned text block."""
+        names = self.column_names
+        rows = [names]
+        for i in range(min(n, self.n_rows)):
+            rows.append(
+                [str(self.column(c).domain.decode([self.codes(c)[i]])[0]) for c in names]
+            )
+        widths = [max(len(r[j]) for r in rows) for j in range(len(names))]
+        lines = [
+            "  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row))
+            for row in rows
+        ]
+        return "\n".join(lines)

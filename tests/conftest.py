@@ -1,0 +1,65 @@
+"""Shared fixtures: a small customers/employers star schema.
+
+This mirrors the paper's running example (Section 1): predicting customer
+churn from a Customers fact table joined with an Employers dimension.
+"""
+
+import numpy as np
+import pytest
+
+from repro.relational import (
+    CategoricalColumn,
+    Domain,
+    KFKConstraint,
+    StarSchema,
+    Table,
+)
+
+
+@pytest.fixture
+def employer_domain():
+    return Domain(["acme", "globex", "initech", "umbrella"])
+
+
+@pytest.fixture
+def employers(employer_domain):
+    state = Domain(["CA", "NY", "WI"])
+    revenue = Domain(["low", "high"])
+    return Table(
+        "Employers",
+        [
+            CategoricalColumn("Employer", employer_domain, [0, 1, 2, 3]),
+            CategoricalColumn("State", state, [0, 1, 0, 2]),
+            CategoricalColumn("Revenue", revenue, [1, 1, 0, 0]),
+        ],
+    )
+
+
+@pytest.fixture
+def customers(employer_domain):
+    churn = Domain(["no", "yes"])
+    gender = Domain(["F", "M"])
+    age = Domain(["young", "mid", "old"])
+    sid = Domain.of_size(8, prefix="c")
+    return Table(
+        "Customers",
+        [
+            CategoricalColumn("CustomerID", sid, np.arange(8)),
+            CategoricalColumn("Churn", churn, [0, 1, 0, 1, 0, 1, 0, 1]),
+            CategoricalColumn("Gender", gender, [0, 1, 0, 1, 0, 1, 1, 0]),
+            CategoricalColumn("Age", age, [0, 1, 2, 0, 1, 2, 0, 1]),
+            CategoricalColumn("Employer", employer_domain, [0, 1, 2, 3, 0, 1, 2, 3]),
+        ],
+    )
+
+
+@pytest.fixture
+def churn_schema(customers, employers):
+    return StarSchema(
+        fact=customers,
+        target="Churn",
+        fact_key="CustomerID",
+        dimensions=[
+            (employers, KFKConstraint("Employer", "Employers", "Employer")),
+        ],
+    )

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_advise_defaults(self):
+        args = build_parser().parse_args(["advise", "yelp"])
+        assert args.command == "advise"
+        assert args.family == "decision_tree"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["advise", "netflix"])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "movies", "dt_gini", "--strategy", "NoFK", "--scale", "smoke"]
+        )
+        assert args.model == "dt_gini"
+        assert args.strategy == "NoFK"
+
+    def test_simulate_arguments(self):
+        args = build_parser().parse_args(
+            ["simulate", "--n-r", "2", "8", "--runs", "2", "--csv"]
+        )
+        assert args.n_r == [2, 8]
+        assert args.csv
+
+
+class TestCommands:
+    def test_advise_prints_report(self, capsys):
+        code = main(["advise", "yelp", "--n-fact", "400"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Join-safety advice" in out
+        assert "businesses" in out
+
+    def test_stats_prints_all_datasets(self, capsys):
+        code = main(["stats", "--n-fact", "400"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("expedia", "flights", "yelp"):
+            assert name in out
+
+    def test_run_prints_result(self, capsys):
+        code = main(["run", "movies", "dt_gini", "--scale", "smoke"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "movies" in out
+        assert "test=" in out
+
+    def test_simulate_renders_series(self, capsys):
+        code = main(
+            ["simulate", "--n-r", "2", "8", "--n-train", "80", "--runs", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "JoinAll" in out and "NoJoin" in out
+
+    def test_simulate_csv(self, capsys):
+        code = main(
+            ["simulate", "--n-r", "4", "--n-train", "60", "--runs", "1", "--csv"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.splitlines()[0] == "n_r,JoinAll,NoJoin,NoFK"
+
+    def test_usage_reports_split_fractions(self, capsys):
+        code = main(["usage", "movies", "--n-fact", "400"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "foreign-key splits" in out

@@ -1,0 +1,231 @@
+"""Tests for FK domain compression and smoothing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ForeignFeatureSmoother,
+    RandomHashingCompressor,
+    RandomSmoother,
+    SortBasedCompressor,
+)
+from repro.core.compression import _conditional_entropies
+from repro.datasets import OneXrScenario
+from repro.errors import NotFittedError, SchemaError
+from repro.ml.encoding import CategoricalMatrix
+
+
+class TestConditionalEntropies:
+    def test_pure_levels_have_zero_entropy(self):
+        codes = np.array([0, 0, 1, 1])
+        y = np.array([0, 0, 1, 1])
+        h = _conditional_entropies(codes, y, 2)
+        assert h.tolist() == pytest.approx([0.0, 0.0])
+
+    def test_mixed_level_has_one_bit(self):
+        codes = np.array([0, 0])
+        y = np.array([0, 1])
+        h = _conditional_entropies(codes, y, 1)
+        assert h[0] == pytest.approx(1.0)
+
+    def test_unseen_level_gets_prior_entropy(self):
+        codes = np.array([0, 0])
+        y = np.array([0, 1])
+        h = _conditional_entropies(codes, y, 3)
+        assert h[1] == pytest.approx(1.0)  # prior is balanced -> 1 bit
+        assert h[2] == pytest.approx(1.0)
+
+
+class TestRandomHashingCompressor:
+    def test_maps_into_budget(self):
+        codes = np.arange(100) % 50
+        compressor = RandomHashingCompressor(budget=8, seed=0).fit(codes)
+        out = compressor.transform(codes)
+        assert out.min() >= 0 and out.max() < 8
+
+    def test_identity_when_budget_covers_domain(self):
+        codes = np.array([0, 1, 2])
+        compressor = RandomHashingCompressor(budget=10, seed=0).fit(codes)
+        assert np.array_equal(compressor.transform(codes), codes)
+
+    def test_deterministic_given_seed(self):
+        codes = np.arange(30)
+        a = RandomHashingCompressor(budget=4, seed=7).fit(codes).transform(codes)
+        b = RandomHashingCompressor(budget=4, seed=7).fit(codes).transform(codes)
+        assert np.array_equal(a, b)
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            RandomHashingCompressor(budget=4).transform(np.array([0]))
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError, match="budget"):
+            RandomHashingCompressor(budget=0)
+
+    def test_out_of_range_transform_raises(self):
+        compressor = RandomHashingCompressor(budget=2, seed=0).fit(
+            np.array([0, 1, 2])
+        )
+        with pytest.raises(ValueError, match="range"):
+            compressor.transform(np.array([99]))
+
+
+class TestSortBasedCompressor:
+    def test_groups_levels_with_same_conditional_entropy(self):
+        # Levels 0,1 are pure-0; levels 2,3 are pure-1: two natural groups.
+        codes = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        y = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        compressor = SortBasedCompressor(budget=2, seed=0).fit(codes, y, n_levels=4)
+        out = compressor.transform(np.array([0, 1, 2, 3]))
+        assert out[0] == out[1]
+        assert out[2] == out[3]
+
+    def test_identity_when_budget_covers_domain(self):
+        codes = np.array([0, 1, 2])
+        y = np.array([0, 1, 0])
+        compressor = SortBasedCompressor(budget=5, seed=0).fit(codes, y)
+        assert np.array_equal(compressor.transform(codes), codes)
+
+    def test_group_count_within_budget(self):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 40, size=500)
+        y = rng.integers(0, 2, size=500)
+        compressor = SortBasedCompressor(budget=6, seed=0).fit(codes, y, n_levels=40)
+        assert compressor.n_groups_ <= 6
+
+    def test_preserves_information_better_than_random(self):
+        """H(Y | f(FK)) should be lower for sort-based than random hashing."""
+        rng = np.random.default_rng(1)
+        n_levels, n = 60, 6000
+        codes = rng.integers(0, n_levels, size=n)
+        level_class = rng.integers(0, 2, size=n_levels)
+        y = level_class[codes]
+        budget = 4
+        sort = SortBasedCompressor(budget=budget, seed=0).fit(codes, y, n_levels=n_levels)
+        rand = RandomHashingCompressor(budget=budget, seed=0).fit(
+            codes, n_levels=n_levels
+        )
+
+        def conditional_entropy(groups):
+            h = _conditional_entropies(groups, y, budget)
+            weights = np.bincount(groups, minlength=budget) / n
+            return float((weights * h).sum())
+
+        assert conditional_entropy(sort.transform(codes)) < conditional_entropy(
+            rand.transform(codes)
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="equal length"):
+            SortBasedCompressor(budget=2).fit(np.array([0, 1]), np.array([0]))
+
+    def test_compress_feature_renames_column(self):
+        X = CategoricalMatrix(
+            np.array([[0], [1], [2], [3]]), (4,), ("FK",)
+        )
+        y = np.array([0, 0, 1, 1])
+        compressor = SortBasedCompressor(budget=2, seed=0).fit(
+            X.column(0), y, n_levels=4
+        )
+        compressed = compressor.compress_feature(X, "FK")
+        assert compressed.names == ("FK_c2",)
+        assert compressed.n_levels == (2,)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=2, max_value=40),
+    )
+    def test_budget_respected_for_any_domain(self, budget, n_levels):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, n_levels, size=200)
+        y = rng.integers(0, 2, size=200)
+        compressor = SortBasedCompressor(budget=budget, seed=0).fit(
+            codes, y, n_levels=n_levels
+        )
+        assert compressor.n_groups_ <= min(budget, n_levels)
+        out = compressor.transform(codes)
+        assert out.max() < min(budget, n_levels)
+
+
+class TestRandomSmoother:
+    def test_seen_levels_pass_through(self):
+        smoother = RandomSmoother(seed=0).fit(np.array([0, 1, 2]), n_levels=5)
+        assert smoother.transform(np.array([0, 1, 2])).tolist() == [0, 1, 2]
+
+    def test_unseen_levels_map_to_seen(self):
+        smoother = RandomSmoother(seed=0).fit(np.array([0, 1]), n_levels=5)
+        out = smoother.transform(np.array([2, 3, 4]))
+        assert set(out.tolist()) <= {0, 1}
+
+    def test_n_unseen(self):
+        smoother = RandomSmoother(seed=0).fit(np.array([0]), n_levels=4)
+        assert smoother.n_unseen_ == 3
+
+    def test_mapping_is_consistent(self):
+        smoother = RandomSmoother(seed=0).fit(np.array([0, 1]), n_levels=6)
+        a = smoother.transform(np.array([5, 5, 5]))
+        assert len(set(a.tolist())) == 1
+
+    def test_empty_training_raises(self):
+        with pytest.raises(ValueError, match="zero"):
+            RandomSmoother().fit(np.array([], dtype=int), n_levels=3)
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            RandomSmoother().transform(np.array([0]))
+
+
+class TestForeignFeatureSmoother:
+    def test_maps_to_nearest_xr(self):
+        # Levels: 0 and 1 seen; 2 unseen with X_R identical to level 1.
+        xr = np.array([[0, 0], [1, 1], [1, 1]])
+        smoother = ForeignFeatureSmoother(xr, seed=0).fit(np.array([0, 1]))
+        assert smoother.transform(np.array([2]))[0] == 1
+
+    def test_tie_break_random_but_valid(self):
+        xr = np.array([[0, 0], [0, 0], [1, 1]])
+        smoother = ForeignFeatureSmoother(xr, seed=3).fit(np.array([0, 1]))
+        assert smoother.transform(np.array([2]))[0] in (0, 1)
+
+    def test_from_schema(self):
+        ds = OneXrScenario(n_train=100, n_r=20).sample(seed=0)
+        smoother = ForeignFeatureSmoother.from_schema(ds.schema, "R", seed=0)
+        train_fk = ds.schema.fact.codes("FK")[ds.train]
+        smoother.fit(train_fk)
+        all_fk = ds.schema.fact.codes("FK")
+        out = smoother.transform(all_fk)
+        seen = set(train_fk.tolist())
+        assert set(out.tolist()) <= seen
+
+    def test_from_schema_requires_features(self, churn_schema):
+        stripped = churn_schema.dimension("Employers").project(["Employer"])
+        from repro.relational import KFKConstraint, StarSchema
+
+        schema = StarSchema(
+            fact=churn_schema.fact,
+            target="Churn",
+            dimensions=[
+                (stripped, KFKConstraint("Employer", "Employers", "Employer"))
+            ],
+        )
+        with pytest.raises(SchemaError, match="no foreign features"):
+            ForeignFeatureSmoother.from_schema(schema, "Employers")
+
+    def test_level_count_mismatch_raises(self):
+        xr = np.zeros((4, 2), dtype=int)
+        with pytest.raises(ValueError, match="match"):
+            ForeignFeatureSmoother(xr).fit(np.array([0]), n_levels=9)
+
+    def test_2d_xr_required(self):
+        with pytest.raises(ValueError, match="n_levels"):
+            ForeignFeatureSmoother(np.zeros(3, dtype=int))
+
+    def test_smooth_feature_on_matrix(self):
+        xr = np.array([[0], [0], [1]])
+        smoother = ForeignFeatureSmoother(xr, seed=0).fit(np.array([0, 2]))
+        X = CategoricalMatrix(np.array([[1], [2]]), (3,), ("FK",))
+        smoothed = smoother.smooth_feature(X, "FK")
+        assert smoothed.column(0).tolist() == [0, 2]

@@ -1,0 +1,83 @@
+"""Tests for PartialJoinStrategy — the Section 5.2 trade-off space."""
+
+import numpy as np
+import pytest
+
+from repro.core import PartialJoinStrategy, join_all_strategy, no_join_strategy
+from repro.datasets import OneXrScenario, generate_real_world
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def onexr():
+    return OneXrScenario(n_train=100, n_r=10, d_s=2, d_r=4).sample(seed=0)
+
+
+class TestFeatureSelection:
+    def test_keeps_named_subset(self, onexr):
+        strategy = PartialJoinStrategy.build({"R": ["Xr0", "Xr2"]})
+        names = strategy.feature_names(onexr.schema)
+        assert names == ["Xs0", "Xs1", "FK", "Xr0", "Xr2"]
+
+    def test_empty_subset_degenerates_to_nojoin(self, onexr):
+        strategy = PartialJoinStrategy.build({"R": []})
+        assert strategy.feature_names(onexr.schema) == no_join_strategy().feature_names(
+            onexr.schema
+        )
+
+    def test_unlisted_dimension_fully_joined(self):
+        dataset = generate_real_world("yelp", n_fact=400, seed=0)
+        strategy = PartialJoinStrategy.build({"businesses": ["businesses_f0"]})
+        names = strategy.feature_names(dataset.schema)
+        # users is unlisted -> all 32 foreign features present.
+        assert sum(n.startswith("users_f") and not n.endswith("_fk") for n in names) == 32
+        business_features = [
+            n for n in names if n.startswith("businesses_f") and not n.endswith("_fk")
+        ]
+        assert business_features == ["businesses_f0"]
+
+    def test_interpolates_between_nojoin_and_joinall(self, onexr):
+        schema = onexr.schema
+        no_join = len(no_join_strategy().feature_names(schema))
+        join_all = len(join_all_strategy().feature_names(schema))
+        for k in range(5):
+            kept = [f"Xr{i}" for i in range(k)]
+            partial = len(
+                PartialJoinStrategy.build({"R": kept}).feature_names(schema)
+            )
+            assert no_join <= partial <= join_all
+            assert partial == no_join + k
+
+    def test_unknown_feature_raises(self, onexr):
+        with pytest.raises(SchemaError, match="no foreign features"):
+            PartialJoinStrategy.build({"R": ["Nope"]}).feature_names(onexr.schema)
+
+    def test_unknown_dimension_raises(self, onexr):
+        with pytest.raises(SchemaError, match="unknown dimensions"):
+            PartialJoinStrategy.build({"Q": ["x"]}).feature_names(onexr.schema)
+
+    def test_default_label(self):
+        strategy = PartialJoinStrategy.build({"R": ["Xr0"]})
+        assert strategy.name == "Partial[R:1]"
+
+    def test_custom_label(self):
+        strategy = PartialJoinStrategy.build({"R": []}, label="MyStrategy")
+        assert strategy.name == "MyStrategy"
+
+
+class TestMatrices:
+    def test_matrices_have_selected_width(self, onexr):
+        strategy = PartialJoinStrategy.build({"R": ["Xr1"]})
+        matrices = strategy.matrices(onexr)
+        assert matrices.feature_names == ("Xs0", "Xs1", "FK", "Xr1")
+        assert matrices.X_train.n_rows == onexr.train.size
+
+    def test_fd_still_holds_on_kept_features(self, onexr):
+        strategy = PartialJoinStrategy.build({"R": ["Xr0"]})
+        matrices = strategy.matrices(onexr)
+        codes = matrices.X_train.codes
+        fk = matrices.X_train.index_of("FK")
+        xr = matrices.X_train.index_of("Xr0")
+        for level in np.unique(codes[:, fk]):
+            rows = codes[codes[:, fk] == level]
+            assert len(np.unique(rows[:, xr])) == 1

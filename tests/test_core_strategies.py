@@ -1,0 +1,171 @@
+"""Tests for repro.core.strategies and repro.core.advisor."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FAMILY_THRESHOLDS,
+    advise,
+    avoid_dimensions_strategy,
+    join_all_strategy,
+    no_fk_strategy,
+    no_join_strategy,
+)
+from repro.datasets import OneXrScenario, generate_real_world
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def onexr():
+    return OneXrScenario(n_train=100, n_r=10, d_s=2, d_r=3).sample(seed=0)
+
+
+@pytest.fixture
+def expedia():
+    return generate_real_world("expedia", n_fact=400, seed=0)
+
+
+class TestFeatureNames:
+    def test_joinall_includes_everything(self, onexr):
+        names = join_all_strategy().feature_names(onexr.schema)
+        assert names == ["Xs0", "Xs1", "FK", "Xr0", "Xr1", "Xr2"]
+
+    def test_nojoin_drops_foreign_features(self, onexr):
+        names = no_join_strategy().feature_names(onexr.schema)
+        assert names == ["Xs0", "Xs1", "FK"]
+
+    def test_nofk_drops_foreign_keys(self, onexr):
+        names = no_fk_strategy().feature_names(onexr.schema)
+        assert names == ["Xs0", "Xs1", "Xr0", "Xr1", "Xr2"]
+
+    def test_avoid_single_dimension(self, onexr):
+        strategy = avoid_dimensions_strategy("R")
+        assert strategy.feature_names(onexr.schema) == ["Xs0", "Xs1", "FK"]
+        assert strategy.name == "NoR"
+
+    def test_avoid_unknown_dimension_raises(self, onexr):
+        with pytest.raises(SchemaError, match="unknown"):
+            avoid_dimensions_strategy("Nope").feature_names(onexr.schema)
+
+    def test_avoid_requires_names(self):
+        with pytest.raises(ValueError, match="at least one"):
+            avoid_dimensions_strategy()
+
+
+class TestOpenFkHandling:
+    def test_open_fk_never_a_feature(self, expedia):
+        for strategy in (join_all_strategy(), no_join_strategy(), no_fk_strategy()):
+            names = strategy.feature_names(expedia.schema)
+            assert "searches_fk" not in names
+
+    def test_open_dimension_joined_even_under_nojoin(self, expedia):
+        names = no_join_strategy().feature_names(expedia.schema)
+        foreign = lambda prefix: [
+            n for n in names if n.startswith(prefix) and not n.endswith("_fk")
+        ]
+        assert foreign("searches_f")  # open dim stays joined
+        assert not foreign("hotels_f")  # closed dim avoided
+        assert "hotels_fk" in names
+
+    def test_open_dimension_cannot_be_avoided(self, expedia):
+        with pytest.raises(SchemaError, match="open-FK"):
+            avoid_dimensions_strategy("searches").feature_names(expedia.schema)
+
+
+class TestMatrices:
+    def test_split_sizes_respected(self, onexr):
+        matrices = join_all_strategy().matrices(onexr)
+        assert matrices.X_train.n_rows == onexr.train.size
+        assert matrices.X_validation.n_rows == onexr.validation.size
+        assert matrices.X_test.n_rows == onexr.test.size
+        assert matrices.y_train.shape == (onexr.train.size,)
+
+    def test_nojoin_narrower_than_joinall(self, onexr):
+        join_all = join_all_strategy().matrices(onexr)
+        no_join = no_join_strategy().matrices(onexr)
+        assert no_join.X_train.n_features < join_all.X_train.n_features
+
+    def test_fd_propagates_to_joined_matrix(self, onexr):
+        """In JoinAll matrices, rows agreeing on FK agree on all X_R."""
+        matrices = join_all_strategy().matrices(onexr)
+        codes = matrices.X_train.codes
+        fk_col = matrices.X_train.index_of("FK")
+        xr_cols = [matrices.X_train.index_of(f"Xr{i}") for i in range(3)]
+        for level in np.unique(codes[:, fk_col]):
+            rows = codes[codes[:, fk_col] == level]
+            for j in xr_cols:
+                assert len(np.unique(rows[:, j])) == 1
+
+    def test_feature_names_property(self, onexr):
+        matrices = no_fk_strategy().matrices(onexr)
+        assert matrices.feature_names == ("Xs0", "Xs1", "Xr0", "Xr1", "Xr2")
+
+    def test_labels_match_dataset(self, onexr):
+        matrices = no_join_strategy().matrices(onexr)
+        assert np.array_equal(matrices.y_test, onexr.labels("test"))
+
+
+class TestAdvisor:
+    def test_families_available(self):
+        assert set(FAMILY_THRESHOLDS) == {
+            "decision_tree",
+            "ann",
+            "rbf_svm",
+            "linear",
+            "1nn",
+        }
+
+    def test_high_ratio_safe_for_tree(self, onexr):
+        # 100 train rows / 10 dimension rows = ratio 10 >= 3.
+        report = advise(onexr.schema, "decision_tree", train_rows=100)
+        assert report.avoidable == ["R"]
+
+    def test_same_ratio_unsafe_for_linear(self, onexr):
+        report = advise(onexr.schema, "linear", train_rows=100)
+        assert report.avoidable == []
+
+    def test_threshold_ordering_tree_lt_rbf_lt_linear(self):
+        assert (
+            FAMILY_THRESHOLDS["decision_tree"]
+            < FAMILY_THRESHOLDS["rbf_svm"]
+            < FAMILY_THRESHOLDS["linear"]
+        )
+
+    def test_open_fk_never_avoidable(self, expedia):
+        report = advise(expedia.schema, "decision_tree", train_rows=10_000)
+        decisions = {d.dimension: d for d in report.decisions}
+        assert not decisions["searches"].safe_to_avoid
+        assert decisions["searches"].tuple_ratio is None
+        assert decisions["hotels"].safe_to_avoid
+
+    def test_recommended_strategy_avoids_safe_dims(self, onexr):
+        strategy = advise(
+            onexr.schema, "decision_tree", train_rows=100
+        ).recommended_strategy()
+        assert strategy.feature_names(onexr.schema) == ["Xs0", "Xs1", "FK"]
+
+    def test_recommended_strategy_falls_back_to_joinall(self, onexr):
+        strategy = advise(
+            onexr.schema, "linear", train_rows=100
+        ).recommended_strategy()
+        assert strategy.name == "JoinAll"
+
+    def test_unknown_family_raises(self, onexr):
+        with pytest.raises(ValueError, match="available"):
+            advise(onexr.schema, "transformer")
+
+    def test_bad_train_rows_raises(self, onexr):
+        with pytest.raises(ValueError, match="train_rows"):
+            advise(onexr.schema, "linear", train_rows=0)
+
+    def test_yelp_r2_is_the_paper_exception(self):
+        """Yelp's businesses table (ratio 2.5) is unsafe even for trees."""
+        yelp = generate_real_world("yelp", n_fact=2000, seed=0)
+        report = advise(yelp.schema, "decision_tree", train_rows=yelp.train.size)
+        decisions = {d.dimension: d for d in report.decisions}
+        assert not decisions["businesses"].safe_to_avoid
+        assert decisions["users"].safe_to_avoid
+
+    def test_report_rendering(self, onexr):
+        text = str(advise(onexr.schema, "decision_tree", train_rows=100))
+        assert "AVOID join" in text

@@ -1,0 +1,181 @@
+"""Tests for repro.datasets.splits and repro.datasets.skew."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    NeedleThreadFK,
+    OneXrScenario,
+    SplitDataset,
+    UniformFK,
+    ZipfFK,
+    three_way_split,
+)
+
+
+class TestThreeWaySplit:
+    def test_default_fractions(self):
+        train, val, test = three_way_split(100, seed=0)
+        assert train.size == 50
+        assert val.size == 25
+        assert test.size == 25
+
+    def test_partition_property(self):
+        train, val, test = three_way_split(97, seed=1)
+        combined = np.sort(np.concatenate([train, val, test]))
+        assert np.array_equal(combined, np.arange(97))
+
+    def test_no_shuffle_is_contiguous(self):
+        train, val, test = three_way_split(20, shuffle=False)
+        assert train.tolist() == list(range(10))
+
+    def test_deterministic_given_seed(self):
+        a = three_way_split(50, seed=7)
+        b = three_way_split(50, seed=7)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_too_few_examples(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            three_way_split(2)
+
+    def test_bad_fractions(self):
+        with pytest.raises(ValueError, match="fractions"):
+            three_way_split(10, fractions=(0.9, 0.2))
+        with pytest.raises(ValueError, match="fractions"):
+            three_way_split(10, fractions=(0.0, 0.5))
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(min_value=3, max_value=500))
+    def test_partition_for_any_n(self, n):
+        train, val, test = three_way_split(n, seed=0)
+        assert train.size + val.size + test.size == n
+        assert train.size >= 1 and val.size >= 1 and test.size >= 1
+
+
+class TestSplitDataset:
+    def test_overlapping_splits_rejected(self, churn_schema):
+        with pytest.raises(ValueError, match="overlap"):
+            SplitDataset(
+                name="bad",
+                schema=churn_schema,
+                train=np.array([0, 1]),
+                validation=np.array([1, 2]),
+                test=np.array([3]),
+            )
+
+    def test_out_of_range_rejected(self, churn_schema):
+        with pytest.raises(ValueError, match="range"):
+            SplitDataset(
+                name="bad",
+                schema=churn_schema,
+                train=np.array([0]),
+                validation=np.array([1]),
+                test=np.array([99]),
+            )
+
+    def test_labels_per_split(self, churn_schema):
+        ds = SplitDataset(
+            name="churn",
+            schema=churn_schema,
+            train=np.array([0, 1, 2, 3]),
+            validation=np.array([4, 5]),
+            test=np.array([6, 7]),
+        )
+        assert ds.labels("train").tolist() == [0, 1, 0, 1]
+        assert ds.labels("test").tolist() == [0, 1]
+
+    def test_unknown_split_raises(self, churn_schema):
+        ds = SplitDataset(
+            name="churn",
+            schema=churn_schema,
+            train=np.array([0]),
+            validation=np.array([1]),
+            test=np.array([2]),
+        )
+        with pytest.raises(ValueError, match="unknown split"):
+            ds.rows("holdout")
+
+    def test_optimal_labels_absent_raises(self, churn_schema):
+        ds = SplitDataset(
+            name="churn",
+            schema=churn_schema,
+            train=np.array([0]),
+            validation=np.array([1]),
+            test=np.array([2]),
+        )
+        with pytest.raises(ValueError, match="Bayes"):
+            ds.optimal_labels("test")
+
+    def test_optimal_labels_shape_checked(self, churn_schema):
+        with pytest.raises(ValueError, match="y_optimal"):
+            SplitDataset(
+                name="churn",
+                schema=churn_schema,
+                train=np.array([0]),
+                validation=np.array([1]),
+                test=np.array([2]),
+                y_optimal=np.zeros(3, dtype=np.int64),
+            )
+
+    def test_optimal_labels_available_in_simulation(self):
+        ds = OneXrScenario(n_train=40).sample(seed=0)
+        assert ds.optimal_labels("test").shape == ds.labels("test").shape
+
+
+class TestSkewSamplers:
+    def test_uniform_probabilities(self):
+        probs = UniformFK().probabilities(4)
+        assert np.allclose(probs, 0.25)
+
+    def test_zipf_zero_exponent_is_uniform(self):
+        assert np.allclose(ZipfFK(s=0.0).probabilities(5), 0.2)
+
+    def test_zipf_monotone_decreasing(self):
+        probs = ZipfFK(s=2.0).probabilities(10)
+        assert np.all(np.diff(probs) <= 0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_zipf_negative_exponent_rejected(self):
+        with pytest.raises(ValueError, match="exponent"):
+            ZipfFK(s=-1.0).probabilities(5)
+
+    def test_needle_mass(self):
+        probs = NeedleThreadFK(needle_prob=0.7).probabilities(11)
+        assert probs[0] == pytest.approx(0.7)
+        assert np.allclose(probs[1:], 0.03)
+
+    def test_needle_bounds_checked(self):
+        with pytest.raises(ValueError, match="needle_prob"):
+            NeedleThreadFK(needle_prob=1.5).probabilities(5)
+
+    def test_needle_single_level(self):
+        assert NeedleThreadFK(needle_prob=0.3).probabilities(1).tolist() == [1.0]
+
+    @pytest.mark.parametrize(
+        "sampler",
+        [UniformFK(), ZipfFK(s=2.0), NeedleThreadFK(needle_prob=0.5)],
+        ids=["uniform", "zipf", "needle"],
+    )
+    def test_samples_in_range(self, sampler):
+        codes = sampler.sample(np.random.default_rng(0), 500, 7)
+        assert codes.shape == (500,)
+        assert codes.min() >= 0 and codes.max() < 7
+
+    def test_zipf_skews_empirical_frequencies(self):
+        rng = np.random.default_rng(0)
+        codes = ZipfFK(s=2.0).sample(rng, 5000, 10)
+        counts = np.bincount(codes, minlength=10)
+        assert counts[0] > counts[5]
+
+    def test_needle_hits_needle_often(self):
+        rng = np.random.default_rng(0)
+        codes = NeedleThreadFK(needle_prob=0.9).sample(rng, 2000, 50)
+        assert np.mean(codes == 0) > 0.8
+
+    @pytest.mark.parametrize("n_levels", [0, -3])
+    def test_invalid_levels_rejected(self, n_levels):
+        with pytest.raises(ValueError, match="n_levels"):
+            UniformFK().probabilities(n_levels)

@@ -1,0 +1,204 @@
+"""Tests for the Section 4 simulation scenario generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    NeedleThreadFK,
+    OneXrScenario,
+    RepOneXrScenario,
+    XSXRScenario,
+    ZipfFK,
+)
+from repro.relational import audit_star_schema
+
+
+SCENARIOS = [
+    OneXrScenario(n_train=200, n_r=20),
+    XSXRScenario(n_train=200, n_r=20),
+    RepOneXrScenario(n_train=200, n_r=20),
+]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: type(s).__name__)
+class TestCommonStructure:
+    def test_schema_is_valid_with_fd(self, scenario):
+        ds = scenario.sample(seed=0)
+        report = audit_star_schema(ds.schema)
+        assert report.all_fds_hold
+
+    def test_split_sizes(self, scenario):
+        ds = scenario.sample(seed=0)
+        assert ds.train.size == 200
+        assert ds.validation.size == 50
+        assert ds.test.size == 50
+
+    def test_reproducible(self, scenario):
+        a = scenario.sample(seed=42)
+        b = scenario.sample(seed=42)
+        assert np.array_equal(a.y, b.y)
+        assert np.array_equal(
+            a.schema.fact.codes("FK"), b.schema.fact.codes("FK")
+        )
+
+    def test_different_seeds_differ(self, scenario):
+        a = scenario.sample(seed=1)
+        b = scenario.sample(seed=2)
+        assert not np.array_equal(a.y, b.y)
+
+    def test_feature_layout(self, scenario):
+        ds = scenario.sample(seed=0)
+        assert ds.schema.fk_columns == ["FK"]
+        assert len(ds.schema.home_features) == scenario.d_s
+        assert len(ds.schema.foreign_features("R")) == scenario.d_r
+
+    def test_y_optimal_present(self, scenario):
+        ds = scenario.sample(seed=0)
+        assert ds.y_optimal is not None
+        assert set(np.unique(ds.y_optimal)) <= {0, 1}
+
+
+class TestOneXr:
+    def test_bayes_error_matches_p(self):
+        """Observed disagreement with the optimal labels approximates p."""
+        scenario = OneXrScenario(n_train=4000, n_r=40, p=0.2)
+        ds = scenario.sample(seed=0)
+        disagreement = np.mean(ds.y != ds.y_optimal)
+        assert disagreement == pytest.approx(0.2, abs=0.03)
+
+    def test_p_zero_is_noiseless(self):
+        ds = OneXrScenario(n_train=500, p=0.0).sample(seed=0)
+        assert np.array_equal(ds.y, ds.y_optimal)
+
+    def test_p_above_half_flips_optimum(self):
+        ds = OneXrScenario(n_train=2000, p=0.9).sample(seed=0)
+        # With p=0.9 the majority class flips; optimal labels must track it.
+        assert np.mean(ds.y == ds.y_optimal) > 0.8
+
+    def test_xr_determines_y_optimal(self):
+        """y_optimal must be a function of the joined X_r (the true rule)."""
+        ds = OneXrScenario(n_train=300, n_r=15).sample(seed=3)
+        fk = ds.schema.fact.codes("FK")
+        xr_by_rid = dict(
+            zip(
+                ds.schema.dimension("R").codes("RID"),
+                ds.schema.dimension("R").codes("Xr0"),
+            )
+        )
+        xr = np.array([xr_by_rid[code] for code in fk])
+        for level in np.unique(xr):
+            assert len(np.unique(ds.y_optimal[xr == level])) == 1
+
+    def test_xr_domain_size_panel_f(self):
+        ds = OneXrScenario(n_train=200, xr_domain_size=8).sample(seed=0)
+        assert len(ds.schema.dimension("R").domain("Xr0")) == 8
+
+    def test_skewed_fk_changes_distribution(self):
+        uniform = OneXrScenario(n_train=2000, n_r=10).sample(seed=0)
+        skewed = OneXrScenario(
+            n_train=2000, n_r=10, fk_sampler=ZipfFK(s=3.0)
+        ).sample(seed=0)
+        count_max_uniform = np.bincount(uniform.schema.fact.codes("FK")).max()
+        count_max_skewed = np.bincount(skewed.schema.fact.codes("FK")).max()
+        assert count_max_skewed > count_max_uniform * 2
+
+    def test_needle_skew_supported(self):
+        ds = OneXrScenario(
+            n_train=500, n_r=20, fk_sampler=NeedleThreadFK(needle_prob=0.8)
+        ).sample(seed=0)
+        counts = np.bincount(ds.schema.fact.codes("FK"), minlength=20)
+        assert counts[0] > counts[1:].max()
+
+    def test_metadata_tuple_ratio(self):
+        ds = OneXrScenario(n_train=1000, n_r=40).sample(seed=0)
+        assert ds.metadata["tuple_ratio"] == pytest.approx(25.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_train"):
+            OneXrScenario(n_train=1).sample()
+        with pytest.raises(ValueError, match="d_r"):
+            OneXrScenario(d_r=0).sample()
+        with pytest.raises(ValueError, match="p must"):
+            OneXrScenario(p=1.5).sample()
+        with pytest.raises(ValueError, match="xr_domain_size"):
+            OneXrScenario(xr_domain_size=1).sample()
+
+
+class TestXSXR:
+    def test_noiseless_target(self):
+        ds = XSXRScenario(n_train=300).sample(seed=0)
+        assert np.array_equal(ds.y, ds.y_optimal)
+        assert ds.metadata["bayes_error"] == 0.0
+
+    def test_y_is_function_of_xs_xr(self):
+        """H(Y | X_S, X_R) = 0: identical feature combos share a label."""
+        ds = XSXRScenario(n_train=500, n_r=10, d_s=2, d_r=2).sample(seed=1)
+        from repro.relational import join_all
+
+        joined = join_all(ds.schema)
+        features = [f"Xs{i}" for i in range(2)] + [f"Xr{i}" for i in range(2)]
+        key = np.stack([joined.codes(c) for c in features], axis=1)
+        labels = joined.codes("Y")
+        _, inverse = np.unique(key, axis=0, return_inverse=True)
+        for group in range(inverse.max() + 1):
+            assert len(np.unique(labels[inverse == group])) == 1
+
+    def test_fk_respects_xr_grouping(self):
+        """Step 6: a row's FK must reference a dimension row with its X_R."""
+        ds = XSXRScenario(n_train=200, n_r=15, d_s=2, d_r=3).sample(seed=2)
+        report = audit_star_schema(ds.schema)
+        assert report.all_fds_hold
+
+    def test_tpt_size_guard(self):
+        with pytest.raises(ValueError, match="TPT"):
+            XSXRScenario(d_s=15, d_r=15).sample()
+
+    def test_dimension_may_repeat_xr_combos(self):
+        ds = XSXRScenario(n_train=100, n_r=50, d_r=2).sample(seed=0)
+        # 50 rows over only 4 possible X_R combos forces duplicates.
+        assert ds.schema.dimension("R").n_rows == 50
+
+
+class TestRepOneXr:
+    def test_all_foreign_features_identical(self):
+        ds = RepOneXrScenario(n_train=200, n_r=20, d_r=5).sample(seed=0)
+        dim = ds.schema.dimension("R")
+        base = dim.codes("Xr0")
+        for j in range(1, 5):
+            assert np.array_equal(dim.codes(f"Xr{j}"), base)
+
+    def test_fd_holds(self):
+        ds = RepOneXrScenario(n_train=150, n_r=10).sample(seed=0)
+        assert audit_star_schema(ds.schema).all_fds_hold
+
+    def test_fk_count_exceeds_xr_values(self):
+        """The scenario's point: many FK values, few X_R vectors."""
+        ds = RepOneXrScenario(n_train=500, n_r=200, d_r=4).sample(seed=0)
+        dim = ds.schema.dimension("R")
+        distinct_xr = np.unique(
+            np.stack([dim.codes(f"Xr{j}") for j in range(4)], axis=1), axis=0
+        ).shape[0]
+        assert distinct_xr <= 2
+        assert dim.n_rows == 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="p must"):
+            RepOneXrScenario(p=-0.1).sample()
+
+
+class TestScenarioProperties:
+    @settings(deadline=None, max_examples=15)
+    @given(
+        st.integers(min_value=20, max_value=200),
+        st.integers(min_value=2, max_value=30),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_onexr_any_shape_is_valid(self, n_train, n_r, d_r, d_s):
+        ds = OneXrScenario(
+            n_train=n_train, n_r=n_r, d_r=d_r, d_s=d_s
+        ).sample(seed=0)
+        assert ds.schema.fact.n_rows == n_train + 2 * max(1, n_train // 4)
+        assert audit_star_schema(ds.schema).all_fds_hold

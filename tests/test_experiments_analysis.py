@@ -1,0 +1,65 @@
+"""Tests for the Section 5 FK-usage analysis."""
+
+import pytest
+
+from repro.core import join_all_strategy, no_fk_strategy
+from repro.datasets import OneXrScenario, generate_real_world
+from repro.experiments.analysis import (
+    fk_usage_across_datasets,
+    fk_usage_report,
+)
+
+
+class TestFkUsageReport:
+    @pytest.fixture(scope="class")
+    def onexr_report(self):
+        ds = OneXrScenario(n_train=300, n_r=15, d_s=2, d_r=3).sample(seed=0)
+        return fk_usage_report(ds)
+
+    def test_fk_dominates_splits_on_onexr(self, onexr_report):
+        """Section 4.1's observation: FK is used heavily, X_R seldom."""
+        assert onexr_report.fraction("fk") > 0.5
+        assert onexr_report.splits_by_class["foreign"] == 0
+
+    def test_counts_are_consistent(self, onexr_report):
+        assert (
+            sum(onexr_report.splits_by_class.values()) == onexr_report.n_splits
+        )
+        assert (
+            sum(onexr_report.split_counts.values()) == onexr_report.n_splits
+        )
+
+    def test_str_rendering(self, onexr_report):
+        text = str(onexr_report)
+        assert "splits" in text
+        assert "fk=" in text
+
+    def test_nofk_strategy_uses_no_fk(self):
+        ds = OneXrScenario(n_train=200, n_r=10, d_s=2, d_r=3).sample(seed=1)
+        report = fk_usage_report(ds, strategy=no_fk_strategy())
+        assert report.splits_by_class["fk"] == 0
+
+    def test_stump_has_zero_fractions(self):
+        ds = OneXrScenario(n_train=60, n_r=6).sample(seed=2)
+        report = fk_usage_report(ds, minsplit=10_000)
+        assert report.n_splits == 0
+        assert report.fraction("fk") == 0.0
+
+    def test_accuracy_reported(self, onexr_report):
+        assert 0.0 <= onexr_report.test_accuracy <= 1.0
+
+
+class TestAcrossDatasets:
+    def test_runs_on_real_emulators(self):
+        datasets = {
+            name: generate_real_world(name, n_fact=400, seed=0)
+            for name in ("movies", "flights")
+        }
+        reports = fk_usage_across_datasets(datasets, strategy=join_all_strategy())
+        assert len(reports) == 2
+        assert {r.dataset for r in reports} == {"movies", "flights"}
+        # Under JoinAll on the emulators, foreign keys carry the bulk of
+        # the partitioning work (the FD makes X_R splits redundant).
+        for report in reports:
+            if report.n_splits:
+                assert report.fraction("foreign") <= 0.5

@@ -1,0 +1,110 @@
+"""Tests for repro.experiments.config and reporting."""
+
+import pytest
+
+from repro.experiments import DEFAULT, PAPER, SMOKE, AccuracyTable, FigureSeries, get_scale
+
+
+class TestScaleProfiles:
+    def test_paper_grids_match_section_3_2(self):
+        tree = PAPER.grid_for("dt_gini")
+        assert tree["minsplit"] == [1, 10, 100, 1000]
+        assert tree["cp"] == [1e-4, 1e-3, 0.01, 0.1, 0.0]
+        rbf = PAPER.grid_for("svm_rbf")
+        assert rbf["C"] == [0.1, 1.0, 10.0, 100.0, 1000.0]
+        assert rbf["gamma"] == [1e-4, 1e-3, 0.01, 0.1, 1.0, 10.0]
+        assert PAPER.grid_for("ann")["l2"] == [1e-4, 1e-3, 1e-2]
+        assert PAPER.ann_hidden == (256, 64)
+        assert PAPER.lr_nlambda == 100
+        assert PAPER.mc_runs == 100
+
+    def test_all_tree_criteria_share_grid(self):
+        for scale in (SMOKE, DEFAULT, PAPER):
+            assert scale.grid_for("dt_gini") == scale.grid_for("dt_entropy")
+            assert scale.grid_for("dt_gini") == scale.grid_for("dt_gain_ratio")
+
+    def test_reduced_grids_subset_paper_axes(self):
+        for key in ("dt_gini", "svm_rbf", "svm_linear", "ann"):
+            paper_grid = PAPER.grid_for(key)
+            for scale in (SMOKE, DEFAULT):
+                for axis, values in scale.grid_for(key).items():
+                    assert axis in paper_grid
+                    assert set(values) <= set(paper_grid[axis])
+
+    def test_untuned_model_gets_empty_grid(self):
+        assert DEFAULT.grid_for("nn1") == {}
+
+    def test_get_scale_by_name(self):
+        assert get_scale("smoke") is SMOKE
+        assert get_scale("paper") is PAPER
+
+    def test_get_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert get_scale() is SMOKE
+
+    def test_get_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale() is DEFAULT
+
+    def test_get_scale_unknown(self):
+        with pytest.raises(ValueError, match="available"):
+            get_scale("gigantic")
+
+
+class TestAccuracyTable:
+    def _table(self):
+        table = AccuracyTable(caption="Test table")
+        table.record("yelp", "Tree", "JoinAll", 0.83)
+        table.record("yelp", "Tree", "NoJoin", 0.81)
+        table.record("movies", "Tree", "JoinAll", 0.85)
+        table.record("movies", "Tree", "NoJoin", 0.8501)
+        return table
+
+    def test_flagging_uses_one_point_threshold(self):
+        table = self._table()
+        assert table.flagged_cells() == [("yelp", "Tree")]
+
+    def test_render_marks_flagged_cells(self):
+        text = self._table().render()
+        assert "0.8100*" in text
+        assert "0.8501" in text and "0.8501*" not in text
+
+    def test_get_missing_cell(self):
+        assert self._table().get("yelp", "Tree", "NoFK") is None
+
+    def test_label_registration_order(self):
+        table = self._table()
+        assert table.datasets == ["yelp", "movies"]
+        assert table.strategies == ["JoinAll", "NoJoin"]
+
+    def test_render_contains_caption_and_headers(self):
+        text = self._table().render()
+        assert text.startswith("Test table")
+        assert "Tree/JoinAll" in text
+
+
+class TestFigureSeries:
+    def _series(self):
+        fig = FigureSeries(title="Fig", x_label="n_R")
+        fig.add_point(10, {"JoinAll": 0.10, "NoJoin": 0.11})
+        fig.add_point(100, {"JoinAll": 0.12, "NoJoin": 0.19})
+        return fig
+
+    def test_max_gap(self):
+        assert self._series().max_gap("JoinAll", "NoJoin") == pytest.approx(0.07)
+
+    def test_missing_series_value_raises(self):
+        fig = self._series()
+        with pytest.raises(ValueError, match="missing"):
+            fig.add_point(1000, {"JoinAll": 0.5})
+
+    def test_render(self):
+        text = self._series().render()
+        assert "n_R" in text
+        assert "0.1900" in text
+
+    def test_csv(self):
+        csv = self._series().to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "n_R,JoinAll,NoJoin"
+        assert lines[1].startswith("10,")

@@ -1,0 +1,203 @@
+"""Failure-injection and degenerate-input tests across the stack.
+
+These exercise the paths a production user hits when their data is
+broken or pathological: FD violations, single-class targets, dimension
+tables with one row, schemas with no dimensions, features with single
+levels, and corrupted matrices mid-pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    advise,
+    join_all_strategy,
+    no_fk_strategy,
+    no_join_strategy,
+)
+from repro.datasets import OneXrScenario, SplitDataset, three_way_split
+from repro.errors import SchemaError
+from repro.ml import (
+    CategoricalNB,
+    DecisionTreeClassifier,
+    KNeighborsClassifier,
+    MLPClassifier,
+)
+from repro.ml.encoding import CategoricalMatrix
+from repro.ml.tree import to_dot
+from repro.relational import (
+    CategoricalColumn,
+    Domain,
+    KFKConstraint,
+    StarSchema,
+    Table,
+    holds_functional_dependency,
+)
+
+
+def _schema_without_dimensions():
+    fact = Table(
+        "solo",
+        [
+            CategoricalColumn("y", Domain.boolean(), [0, 1, 0, 1, 0, 1]),
+            CategoricalColumn("f", Domain.of_size(3), [0, 1, 2, 0, 1, 2]),
+        ],
+    )
+    return StarSchema(fact=fact, target="y", dimensions=[])
+
+
+class TestDegenerateSchemas:
+    def test_schema_with_no_dimensions_is_valid(self):
+        schema = _schema_without_dimensions()
+        assert schema.q == 0
+        assert schema.home_features == ["f"]
+
+    def test_strategies_coincide_without_dimensions(self):
+        schema = _schema_without_dimensions()
+        for strategy in (join_all_strategy(), no_join_strategy(), no_fk_strategy()):
+            assert strategy.feature_names(schema) == ["f"]
+
+    def test_advisor_on_empty_schema_recommends_joinall(self):
+        schema = _schema_without_dimensions()
+        report = advise(schema, "decision_tree")
+        assert report.decisions == []
+        assert report.recommended_strategy().name == "JoinAll"
+
+    def test_single_row_dimension(self):
+        fk_domain = Domain.of_size(1)
+        fact = Table(
+            "f",
+            [
+                CategoricalColumn("y", Domain.boolean(), [0, 1, 1, 0]),
+                CategoricalColumn("fk", fk_domain, [0, 0, 0, 0]),
+            ],
+        )
+        dim = Table(
+            "d",
+            [
+                CategoricalColumn("rid", fk_domain, [0]),
+                CategoricalColumn("attr", Domain.of_size(2), [1]),
+            ],
+        )
+        schema = StarSchema(
+            fact=fact, target="y", dimensions=[(dim, KFKConstraint("fk", "d", "rid"))]
+        )
+        matrices = join_all_strategy().matrices(
+            SplitDataset(
+                name="tiny",
+                schema=schema,
+                train=np.array([0, 1]),
+                validation=np.array([2]),
+                test=np.array([3]),
+            )
+        )
+        # A single-level FK and a constant foreign feature are legal.
+        assert matrices.X_train.n_levels == (1, 2)
+
+
+class TestFdViolationDetection:
+    def test_violation_surfaces_in_direct_check(self):
+        table = Table.from_labels(
+            "t", {"fk": ["a", "a", "b"], "attr": ["x", "y", "x"]}
+        )
+        assert not holds_functional_dependency(table, ["fk"], ["attr"])
+
+    def test_duplicate_rid_blocked_at_schema_construction(self):
+        fk_domain = Domain.of_size(2)
+        fact = Table(
+            "f",
+            [
+                CategoricalColumn("y", Domain.boolean(), [0, 1]),
+                CategoricalColumn("fk", fk_domain, [0, 1]),
+            ],
+        )
+        # Duplicate RIDs are how an instance-level FD violation would
+        # enter through a join; the schema refuses them outright.
+        dim = Table(
+            "d",
+            [
+                CategoricalColumn("rid", fk_domain, [0, 0]),
+                CategoricalColumn("attr", Domain.of_size(2), [0, 1]),
+            ],
+        )
+        with pytest.raises(SchemaError, match="not unique"):
+            StarSchema(
+                fact=fact,
+                target="y",
+                dimensions=[(dim, KFKConstraint("fk", "d", "rid"))],
+            )
+
+
+class TestDegenerateLearningInputs:
+    def test_single_class_training(self):
+        X = CategoricalMatrix(np.array([[0], [1], [0]]), (2,), ("f",))
+        y = np.ones(3, dtype=np.int64)
+        for model in (
+            DecisionTreeClassifier(minsplit=1),
+            CategoricalNB(),
+            KNeighborsClassifier(),
+        ):
+            fitted = model.fit(X, y)
+            assert fitted.predict(X).tolist() == [1, 1, 1]
+
+    def test_single_level_features_are_uninformative_not_fatal(self):
+        X = CategoricalMatrix(np.zeros((6, 2), dtype=int), (1, 1), ("a", "b"))
+        y = np.array([0, 1, 0, 1, 0, 1])
+        tree = DecisionTreeClassifier(minsplit=1, cp=0.0).fit(X, y)
+        assert tree.root_.is_leaf  # nothing to split on
+
+    def test_zero_feature_matrix(self):
+        X = CategoricalMatrix.empty(4)
+        y = np.array([0, 1, 1, 1])
+        tree = DecisionTreeClassifier(minsplit=1).fit(X, y)
+        assert tree.predict(CategoricalMatrix.empty(2)).tolist() == [1, 1]
+
+    def test_mlp_multiclass(self):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 3, size=(120, 1))
+        y = codes[:, 0].astype(np.int64)  # 3 classes
+        X = CategoricalMatrix(codes, (3,), ("f",))
+        model = MLPClassifier(
+            hidden_sizes=(8,), epochs=40, learning_rate=0.01, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.9
+        assert model.predict_proba(X).shape == (120, 3)
+
+    def test_nb_multiclass(self):
+        rng = np.random.default_rng(1)
+        codes = rng.integers(0, 4, size=(100, 1))
+        y = (codes[:, 0] % 3).astype(np.int64)
+        X = CategoricalMatrix(codes, (4,), ("f",))
+        model = CategoricalNB().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_knn_multiclass(self):
+        codes = np.array([[0], [1], [2]] * 10)
+        y = codes[:, 0].astype(np.int64)
+        X = CategoricalMatrix(codes, (3,), ("f",))
+        assert KNeighborsClassifier(n_neighbors=1).fit(X, y).score(X, y) == 1.0
+
+
+class TestExportRobustness:
+    def test_to_dot_renders_stump_and_split(self):
+        ds = OneXrScenario(n_train=60, n_r=6).sample(seed=0)
+        matrices = no_join_strategy().matrices(ds)
+        tree = DecisionTreeClassifier(
+            minsplit=5, cp=0.0, unseen="majority", random_state=0
+        ).fit(matrices.X_train, matrices.y_train)
+        dot = to_dot(tree)
+        assert dot.startswith("digraph tree {")
+        assert dot.rstrip().endswith("}")
+        assert "yes" in dot and "no" in dot
+
+        stump = DecisionTreeClassifier(minsplit=10_000).fit(
+            matrices.X_train, matrices.y_train
+        )
+        dot_stump = to_dot(stump, graph_name="stump")
+        assert "class=" in dot_stump
+
+
+class TestSplitEdgeCases:
+    def test_minimum_viable_split(self):
+        train, val, test = three_way_split(3, seed=0)
+        assert {train.size, val.size, test.size} == {1}

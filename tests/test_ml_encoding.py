@@ -1,0 +1,127 @@
+"""Tests for repro.ml.encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.ml.encoding import CategoricalMatrix, one_hot
+from repro.relational import Table
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        expected = np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]], dtype=float)
+        assert np.array_equal(out, expected)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(SchemaError):
+            one_hot(np.array([3]), 3)
+
+    def test_2d_raises(self):
+        with pytest.raises(SchemaError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=30))
+    def test_rows_sum_to_one(self, k, n):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, k, size=n)
+        out = one_hot(codes, k)
+        assert out.shape == (n, k)
+        if n:
+            assert np.all(out.sum(axis=1) == 1.0)
+
+
+def _matrix():
+    codes = np.array([[0, 2], [1, 0], [0, 1]])
+    return CategoricalMatrix(codes, (2, 3), ("a", "b"))
+
+
+class TestCategoricalMatrix:
+    def test_construction(self):
+        m = _matrix()
+        assert m.n_rows == 3
+        assert m.n_features == 2
+        assert m.onehot_width == 5
+
+    def test_rejects_width_mismatch(self):
+        with pytest.raises(SchemaError, match="widths"):
+            CategoricalMatrix(np.zeros((2, 2), dtype=int), (2,), ("a", "b"))
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(SchemaError, match="unique"):
+            CategoricalMatrix(np.zeros((2, 2), dtype=int), (2, 2), ("a", "a"))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SchemaError, match="out of range"):
+            CategoricalMatrix(np.array([[5]]), (2,), ("a",))
+
+    def test_rejects_nonpositive_levels(self):
+        with pytest.raises(SchemaError, match="positive"):
+            CategoricalMatrix(np.zeros((1, 1), dtype=int), (0,), ("a",))
+
+    def test_rejects_1d(self):
+        with pytest.raises(SchemaError, match="2-D"):
+            CategoricalMatrix(np.zeros(3, dtype=int), (2,), ("a",))
+
+    def test_onehot_blocks(self):
+        m = _matrix()
+        hot = m.onehot()
+        assert hot.shape == (3, 5)
+        # Row 0: a=0 -> [1,0]; b=2 -> [0,0,1]
+        assert hot[0].tolist() == [1, 0, 0, 0, 1]
+        # Every row has exactly d ones.
+        assert np.all(hot.sum(axis=1) == 2)
+
+    def test_onehot_cached(self):
+        m = _matrix()
+        assert m.onehot() is m.onehot()
+
+    def test_onehot_empty_features(self):
+        m = CategoricalMatrix.empty(4)
+        assert m.onehot().shape == (4, 0)
+
+    def test_take_rows_by_mask_and_index(self):
+        m = _matrix()
+        assert m.take_rows(np.array([2, 0])).codes[:, 0].tolist() == [0, 0]
+        assert m.take_rows(np.array([True, False, True])).n_rows == 2
+
+    def test_select_features_by_name(self):
+        m = _matrix().select_features(["b"])
+        assert m.names == ("b",)
+        assert m.n_levels == (3,)
+
+    def test_select_features_by_index(self):
+        assert _matrix().select_features([1]).names == ("b",)
+
+    def test_select_unknown_name_raises(self):
+        with pytest.raises(SchemaError, match="available"):
+            _matrix().select_features(["zzz"])
+
+    def test_select_bad_index_raises(self):
+        with pytest.raises(SchemaError, match="range"):
+            _matrix().select_features([7])
+
+    def test_drop_features(self):
+        assert _matrix().drop_features(["a"]).names == ("b",)
+
+    def test_replace_column(self):
+        m = _matrix().replace_column(1, np.array([0, 0, 1]), 2, name="b_small")
+        assert m.n_levels == (2, 2)
+        assert m.names == ("a", "b_small")
+
+    def test_from_table(self, customers):
+        m = CategoricalMatrix.from_table(customers, ["Gender", "Age"])
+        assert m.n_rows == 8
+        assert m.names == ("Gender", "Age")
+        assert m.n_levels == (2, 3)
+
+    def test_from_table_empty_features(self, customers):
+        m = CategoricalMatrix.from_table(customers, [])
+        assert m.n_rows == 8
+        assert m.n_features == 0
+
+    def test_index_of(self):
+        assert _matrix().index_of("b") == 1

@@ -1,0 +1,49 @@
+"""Tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.metrics import accuracy, confusion_counts, zero_one_error
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([0, 1]), np.array([0, 1])) == 1.0
+
+    def test_half(self):
+        assert accuracy(np.array([0, 1]), np.array([0, 0])) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            accuracy(np.array([0]), np.array([0, 1]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            accuracy(np.array([]), np.array([]))
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=50))
+    def test_complement_identity(self, labels):
+        y = np.array(labels)
+        pred = 1 - y
+        assert accuracy(y, pred) + zero_one_error(y, pred) == pytest.approx(1.0)
+        assert accuracy(y, y) == 1.0
+
+
+class TestConfusion:
+    def test_counts(self):
+        y = np.array([0, 0, 1, 1])
+        p = np.array([0, 1, 0, 1])
+        counts = confusion_counts(y, p)
+        assert counts.tolist() == [[1, 1], [1, 1]]
+
+    def test_sum_equals_n(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 20)
+        p = rng.integers(0, 2, 20)
+        assert confusion_counts(y, p).sum() == 20
+
+    def test_nonbinary_raises(self):
+        with pytest.raises(ValueError, match="binary"):
+            confusion_counts(np.array([0, 2]), np.array([0, 1]))

@@ -1,0 +1,117 @@
+"""Tests for repro.ml.preprocessing (binning and ordinal binarization)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFittedError
+from repro.ml.preprocessing import Discretizer, binarize_ordinal
+
+
+class TestDiscretizerWidth:
+    def test_equal_width_bins(self):
+        disc = Discretizer(n_bins=4, strategy="width").fit(np.array([0.0, 8.0]))
+        codes = disc.transform(np.array([0.0, 1.9, 2.1, 5.0, 8.0]))
+        assert codes.tolist() == [0, 0, 1, 2, 3]
+
+    def test_out_of_range_clips(self):
+        disc = Discretizer(n_bins=3, strategy="width").fit(np.array([0.0, 3.0]))
+        codes = disc.transform(np.array([-100.0, 100.0]))
+        assert codes.tolist() == [0, 2]
+
+    def test_constant_input_single_bin_zero(self):
+        disc = Discretizer(n_bins=3, strategy="width").fit(np.array([5.0, 5.0]))
+        assert disc.transform(np.array([5.0])).tolist() == [0]
+
+    def test_to_column_has_closed_domain(self):
+        disc = Discretizer(n_bins=3, strategy="width").fit(np.arange(10.0))
+        column = disc.to_column("age", np.array([0.0, 9.0]))
+        assert column.n_levels == 3
+        assert column.codes.tolist() == [0, 2]
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=100,
+        ),
+        st.integers(min_value=2, max_value=12),
+    )
+    def test_codes_always_in_range(self, values, n_bins):
+        values = np.array(values)
+        disc = Discretizer(n_bins=n_bins, strategy="width").fit(values)
+        codes = disc.transform(values)
+        assert codes.min() >= 0
+        assert codes.max() < disc.n_bins_
+
+
+class TestDiscretizerFrequency:
+    def test_balanced_bins_on_uniform_data(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(1000)
+        disc = Discretizer(n_bins=4, strategy="frequency").fit(values)
+        codes = disc.transform(values)
+        counts = np.bincount(codes, minlength=4)
+        assert counts.min() > 150  # roughly 250 each
+
+    def test_ties_merge_bins(self):
+        values = np.array([1.0] * 50 + [2.0] * 50)
+        disc = Discretizer(n_bins=10, strategy="frequency").fit(values)
+        # Ten requested bins collapse to a handful of distinct edges,
+        # and the two distinct values land in two distinct bins.
+        assert disc.n_bins_ <= 4
+        assert len(np.unique(disc.transform(values))) == 2
+
+
+class TestDiscretizerValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError, match="n_bins"):
+            Discretizer(n_bins=1)
+        with pytest.raises(ValueError, match="strategy"):
+            Discretizer(strategy="magic")
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            Discretizer().transform(np.array([1.0]))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Discretizer().fit(np.array([]))
+        with pytest.raises(ValueError, match="finite"):
+            Discretizer().fit(np.array([np.nan, 1.0]))
+
+
+class TestBinarizeOrdinal:
+    def test_five_star_ratings(self):
+        # 1-5 stars coded 0..4: 1-2 stars -> 0, 3-5 stars -> 1.
+        ratings = np.array([0, 1, 2, 3, 4])
+        assert binarize_ordinal(ratings).tolist() == [0, 0, 1, 1, 1]
+
+    def test_even_domain_splits_in_half(self):
+        assert binarize_ordinal(np.array([0, 1, 2, 3])).tolist() == [0, 0, 1, 1]
+
+    def test_explicit_domain_size(self):
+        # Only low codes observed, but the domain is 0..9.
+        assert binarize_ordinal(np.array([0, 1]), n_levels=10).tolist() == [0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            binarize_ordinal(np.array([], dtype=int))
+        with pytest.raises(ValueError, match="non-negative"):
+            binarize_ordinal(np.array([-1]))
+        with pytest.raises(ValueError, match="exceed"):
+            binarize_ordinal(np.array([5]), n_levels=3)
+        with pytest.raises(ValueError, match="two levels"):
+            binarize_ordinal(np.array([0]), n_levels=1)
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=50))
+    def test_output_is_binary_and_monotone(self, codes):
+        values = np.array(codes)
+        out = binarize_ordinal(values, n_levels=10)
+        assert set(np.unique(out)) <= {0, 1}
+        # Monotone: a higher ordinal never maps below a lower one.
+        order = np.argsort(values)
+        assert np.all(np.diff(out[order]) >= 0)

@@ -1,0 +1,292 @@
+"""Tests for the CART decision tree (criteria, fitting, prediction, export)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFittedError, UnseenCategoryError
+from repro.ml.encoding import CategoricalMatrix
+from repro.ml.tree import (
+    DecisionTreeClassifier,
+    entropy,
+    gini,
+    render_tree,
+    split_information,
+    tree_statistics,
+)
+from repro.ml.tree.criteria import impurity_function
+
+
+class TestCriteria:
+    def test_gini_pure(self):
+        assert gini(np.array([10, 0])) == pytest.approx(0.0)
+
+    def test_gini_balanced(self):
+        assert gini(np.array([5, 5])) == pytest.approx(0.5)
+
+    def test_entropy_pure(self):
+        assert entropy(np.array([10, 0])) == pytest.approx(0.0)
+
+    def test_entropy_balanced_one_bit(self):
+        assert entropy(np.array([5, 5])) == pytest.approx(1.0)
+
+    def test_empty_counts_zero(self):
+        assert gini(np.array([0, 0])) == pytest.approx(0.0)
+        assert entropy(np.array([0, 0])) == pytest.approx(0.0)
+
+    def test_vectorised_rows(self):
+        counts = np.array([[5, 5], [10, 0]])
+        assert gini(counts).tolist() == pytest.approx([0.5, 0.0])
+
+    def test_split_information_balanced(self):
+        assert split_information(np.array([5.0]), np.array([5.0]))[0] == pytest.approx(1.0)
+
+    def test_split_information_degenerate(self):
+        assert split_information(np.array([10.0]), np.array([0.0]))[0] == pytest.approx(0.0)
+
+    def test_impurity_function_lookup(self):
+        assert impurity_function("gini") is gini
+        assert impurity_function("entropy") is entropy
+        assert impurity_function("gain_ratio") is entropy
+        with pytest.raises(ValueError, match="unknown"):
+            impurity_function("nope")
+
+    @given(
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=50),
+    )
+    def test_gini_bounds(self, a, b):
+        value = float(gini(np.array([a, b])))
+        assert 0.0 <= value <= 0.5 + 1e-12
+
+    @given(
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=50),
+    )
+    def test_entropy_bounds(self, a, b):
+        value = float(entropy(np.array([a, b])))
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+
+def _xor_data(n=400, seed=0):
+    """Deterministic XOR of two binary features — linearly inseparable."""
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, 2, size=(n, 2))
+    y = codes[:, 0] ^ codes[:, 1]
+    return CategoricalMatrix(codes, (2, 2), ("f1", "f2")), y
+
+
+def _single_feature_data(n=300, k=6, seed=1):
+    """y determined by membership of a level subset of one feature."""
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, k, size=(n, 1))
+    y = (codes[:, 0] % 2).astype(np.int64)
+    return CategoricalMatrix(codes, (k,), ("f",)), y
+
+
+CRITERIA = ["gini", "entropy", "gain_ratio"]
+
+
+class TestFitting:
+    @pytest.mark.parametrize("criterion", CRITERIA)
+    def test_learns_xor(self, criterion):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(criterion=criterion, minsplit=2, cp=0.0)
+        tree.fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+    @pytest.mark.parametrize("criterion", CRITERIA)
+    def test_subset_split_on_multilevel_feature(self, criterion):
+        X, y = _single_feature_data()
+        tree = DecisionTreeClassifier(criterion=criterion, minsplit=2, cp=0.0)
+        tree.fit(X, y)
+        assert tree.score(X, y) == 1.0
+        # The parity concept is a single binary subset split.
+        assert tree.depth_ == 1
+
+    def test_pure_node_becomes_leaf(self):
+        X = CategoricalMatrix(np.array([[0], [1]]), (2,), ("f",))
+        tree = DecisionTreeClassifier(minsplit=1, cp=0.0).fit(X, np.array([1, 1]))
+        assert tree.root_.is_leaf
+        assert tree.predict(X).tolist() == [1, 1]
+
+    def test_minsplit_blocks_split(self):
+        X, y = _xor_data(n=50)
+        tree = DecisionTreeClassifier(minsplit=1000, cp=0.0).fit(X, y)
+        assert tree.root_.is_leaf
+
+    def test_high_cp_prunes_everything(self):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(minsplit=2, cp=1.0).fit(X, y)
+        # XOR's first split yields no impurity gain, so cp=1 keeps a stump.
+        assert tree.root_.is_leaf
+
+    def test_cp_zero_grows_deeper_than_cp_large(self):
+        X, y = _single_feature_data(n=500, k=12, seed=3)
+        noisy = y.copy()
+        noisy[::7] = 1 - noisy[::7]
+        deep = DecisionTreeClassifier(minsplit=2, cp=0.0).fit(X, noisy)
+        shallow = DecisionTreeClassifier(minsplit=2, cp=0.2).fit(X, noisy)
+        assert deep.n_leaves_ >= shallow.n_leaves_
+
+    def test_max_depth(self):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(minsplit=2, cp=0.0, max_depth=1).fit(X, y)
+        assert tree.depth_ <= 1
+
+    def test_minbucket_default_is_third_of_minsplit(self):
+        tree = DecisionTreeClassifier(minsplit=30)
+        assert tree._effective_minbucket == 10
+
+    def test_invalid_hyperparameters(self):
+        X, y = _xor_data(n=20)
+        with pytest.raises(ValueError, match="criterion"):
+            DecisionTreeClassifier(criterion="bad").fit(X, y)
+        with pytest.raises(ValueError, match="minsplit"):
+            DecisionTreeClassifier(minsplit=0).fit(X, y)
+        with pytest.raises(ValueError, match="cp"):
+            DecisionTreeClassifier(cp=-1).fit(X, y)
+        with pytest.raises(ValueError, match="unseen"):
+            DecisionTreeClassifier(unseen="bad").fit(X, y)
+        with pytest.raises(ValueError, match="minbucket"):
+            DecisionTreeClassifier(minbucket=0).fit(X, y)
+
+    def test_predict_before_fit_raises(self):
+        X, _ = _xor_data(n=4)
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(X)
+
+    def test_feature_width_mismatch_raises(self):
+        X, y = _xor_data(n=40)
+        tree = DecisionTreeClassifier(minsplit=2, cp=0.0).fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            tree.predict(X.select_features([0]))
+
+    def test_split_counts_track_used_features(self):
+        X, y = _single_feature_data()
+        tree = DecisionTreeClassifier(minsplit=2, cp=0.0).fit(X, y)
+        assert tree.split_counts_["f"] >= 1
+
+
+class TestUnseenPolicy:
+    def _fit_small(self, unseen):
+        # Train with only levels {0,1} of a 3-level domain.
+        X = CategoricalMatrix(np.array([[0], [1], [0], [1]]), (3,), ("f",))
+        y = np.array([0, 1, 0, 1])
+        return DecisionTreeClassifier(
+            minsplit=2, cp=0.0, unseen=unseen, random_state=0
+        ).fit(X, y)
+
+    def test_error_policy_reproduces_r_crash(self):
+        tree = self._fit_small("error")
+        X_new = CategoricalMatrix(np.array([[2]]), (3,), ("f",))
+        with pytest.raises(UnseenCategoryError) as info:
+            tree.predict(X_new)
+        assert info.value.feature == "f"
+        assert info.value.code == 2
+
+    def test_majority_policy_routes_unseen(self):
+        tree = self._fit_small("majority")
+        X_new = CategoricalMatrix(np.array([[2]]), (3,), ("f",))
+        assert tree.predict(X_new).shape == (1,)
+
+    def test_random_policy_deterministic_given_seed(self):
+        tree = self._fit_small("random")
+        X_new = CategoricalMatrix(np.array([[2], [2], [2]]), (3,), ("f",))
+        first = tree.predict(X_new)
+        second = tree.predict(X_new)
+        assert np.array_equal(first, second)
+
+    def test_seen_levels_do_not_trigger_error(self):
+        tree = self._fit_small("error")
+        X_seen = CategoricalMatrix(np.array([[0], [1]]), (3,), ("f",))
+        assert tree.predict(X_seen).tolist() == [0, 1]
+
+
+class TestProbabilities:
+    def test_proba_rows_sum_to_one(self):
+        X, y = _xor_data(n=100)
+        tree = DecisionTreeClassifier(minsplit=2, cp=0.0).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert proba.shape == (100, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_proba_matches_argmax_predict(self):
+        X, y = _xor_data(n=60, seed=5)
+        tree = DecisionTreeClassifier(minsplit=10, cp=0.01).fit(X, y)
+        assert np.array_equal(
+            tree.predict(X), np.argmax(tree.predict_proba(X), axis=1)
+        )
+
+
+class TestExport:
+    def test_render_contains_feature_names(self):
+        X, y = _single_feature_data()
+        tree = DecisionTreeClassifier(minsplit=2, cp=0.0).fit(X, y)
+        text = render_tree(tree)
+        assert "f in {" in text
+        assert "leaf" in text
+
+    def test_render_with_level_labels(self):
+        X, y = _single_feature_data(k=4)
+        tree = DecisionTreeClassifier(minsplit=2, cp=0.0).fit(X, y)
+        text = render_tree(tree, feature_levels={"f": ["a", "b", "c", "d"]})
+        assert any(label in text for label in ("a", "b", "c", "d"))
+
+    def test_render_truncates_large_subsets(self):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 20, size=(500, 1))
+        y = (codes[:, 0] < 10).astype(np.int64)
+        X = CategoricalMatrix(codes, (20,), ("fk",))
+        tree = DecisionTreeClassifier(minsplit=2, cp=0.0).fit(X, y)
+        assert "more)" in render_tree(tree)
+
+    def test_render_max_depth_truncation(self):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(minsplit=2, cp=0.0).fit(X, y)
+        assert "truncated" in render_tree(tree, max_depth=1)
+
+    def test_statistics(self):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(minsplit=2, cp=0.0).fit(X, y)
+        stats = tree_statistics(tree)
+        assert stats.n_splits == stats.n_leaves - 1
+        assert stats.most_used_feature() in ("f1", "f2")
+        assert 0.0 <= stats.usage_fraction("f1") <= 1.0
+
+    def test_statistics_stump(self):
+        X = CategoricalMatrix(np.array([[0], [1]]), (2,), ("f",))
+        tree = DecisionTreeClassifier(minsplit=100).fit(X, np.array([0, 1]))
+        stats = tree_statistics(tree)
+        assert stats.most_used_feature() is None
+        assert stats.usage_fraction("f") == 0.0
+
+
+class TestProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_training_accuracy_beats_majority(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 80
+        codes = rng.integers(0, 4, size=(n, 3))
+        y = rng.integers(0, 2, size=n)
+        X = CategoricalMatrix(codes, (4, 4, 4), ("a", "b", "c"))
+        tree = DecisionTreeClassifier(minsplit=2, cp=0.0).fit(X, y)
+        majority = max(np.mean(y == 0), np.mean(y == 1))
+        assert tree.score(X, y) >= majority - 1e-12
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_fd_respecting_predictions(self, seed):
+        """Rows identical in all features get identical predictions."""
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 3, size=(60, 2))
+        y = rng.integers(0, 2, size=60)
+        X = CategoricalMatrix(codes, (3, 3), ("a", "b"))
+        tree = DecisionTreeClassifier(minsplit=5, cp=0.01).fit(X, y)
+        duplicated = CategoricalMatrix(
+            np.vstack([codes[:5], codes[:5]]), (3, 3), ("a", "b")
+        )
+        preds = tree.predict(duplicated)
+        assert np.array_equal(preds[:5], preds[5:])

@@ -1,0 +1,153 @@
+"""Tests for repro.relational.column: Domain and CategoricalColumn."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.relational.column import OTHERS_LABEL, CategoricalColumn, Domain
+
+
+class TestDomain:
+    def test_encode_decode_roundtrip(self):
+        domain = Domain(["a", "b", "c"])
+        values = ["c", "a", "b", "a"]
+        assert domain.decode(domain.encode(values)) == values
+
+    def test_encode_returns_int64(self):
+        domain = Domain(["a", "b"])
+        assert domain.encode(["a", "b"]).dtype == np.int64
+
+    def test_encode_empty(self):
+        domain = Domain(["a"])
+        assert domain.encode([]).size == 0
+
+    def test_requires_labels(self):
+        with pytest.raises(SchemaError):
+            Domain([])
+
+    def test_rejects_duplicate_labels(self):
+        with pytest.raises(SchemaError):
+            Domain(["a", "a"])
+
+    def test_unknown_label_without_others_raises(self):
+        domain = Domain(["a", "b"])
+        with pytest.raises(SchemaError, match="closed domain"):
+            domain.encode(["z"])
+
+    def test_unknown_label_maps_to_others(self):
+        domain = Domain(["a", "b"]).with_others()
+        codes = domain.encode(["z", "a"])
+        assert domain.decode(codes) == [OTHERS_LABEL, "a"]
+
+    def test_with_others_idempotent(self):
+        domain = Domain(["a"]).with_others()
+        assert domain.with_others() is domain
+
+    def test_of_size(self):
+        domain = Domain.of_size(3, prefix="fk")
+        assert domain.labels == ("fk0", "fk1", "fk2")
+
+    def test_of_size_rejects_nonpositive(self):
+        with pytest.raises(SchemaError):
+            Domain.of_size(0)
+
+    def test_boolean(self):
+        assert len(Domain.boolean()) == 2
+
+    def test_code_of(self):
+        domain = Domain(["x", "y"])
+        assert domain.code_of("y") == 1
+        with pytest.raises(KeyError):
+            domain.code_of("z")
+
+    def test_equality_and_hash(self):
+        assert Domain(["a", "b"]) == Domain(["a", "b"])
+        assert Domain(["a", "b"]) != Domain(["b", "a"])
+        assert hash(Domain(["a"])) == hash(Domain(["a"]))
+
+    def test_contains(self):
+        domain = Domain(["a"])
+        assert "a" in domain
+        assert "b" not in domain
+
+    def test_repr_mentions_size(self):
+        assert "size=5" in repr(Domain.of_size(5))
+
+    @given(st.lists(st.text(min_size=1), min_size=1, max_size=20, unique=True))
+    def test_roundtrip_property(self, labels):
+        domain = Domain(labels)
+        assert domain.decode(domain.encode(labels)) == labels
+
+    @given(st.integers(min_value=1, max_value=50))
+    def test_of_size_property(self, size):
+        assert len(Domain.of_size(size)) == size
+
+
+class TestCategoricalColumn:
+    def test_basic_construction(self):
+        column = CategoricalColumn("f", Domain(["a", "b"]), [0, 1, 0])
+        assert len(column) == 3
+        assert column.n_levels == 2
+
+    def test_rejects_out_of_range_codes(self):
+        with pytest.raises(SchemaError, match="out of range"):
+            CategoricalColumn("f", Domain(["a"]), [0, 1])
+        with pytest.raises(SchemaError, match="out of range"):
+            CategoricalColumn("f", Domain(["a"]), [-1])
+
+    def test_rejects_2d_codes(self):
+        with pytest.raises(SchemaError, match="1-D"):
+            CategoricalColumn("f", Domain(["a"]), np.zeros((2, 2), dtype=int))
+
+    def test_from_labels_infers_domain_in_first_appearance_order(self):
+        column = CategoricalColumn.from_labels("f", ["b", "a", "b"])
+        assert column.domain.labels == ("b", "a")
+        assert column.labels() == ["b", "a", "b"]
+
+    def test_from_labels_with_domain(self):
+        domain = Domain(["a", "b"])
+        column = CategoricalColumn.from_labels("f", ["b"], domain=domain)
+        assert column.domain is domain
+
+    def test_level_counts_include_absent_levels(self):
+        column = CategoricalColumn("f", Domain(["a", "b", "c"]), [0, 0, 1])
+        assert column.level_counts().tolist() == [2, 1, 0]
+
+    def test_present_levels(self):
+        column = CategoricalColumn("f", Domain(["a", "b", "c"]), [2, 0, 2])
+        assert column.present_levels().tolist() == [0, 2]
+
+    def test_is_unique(self):
+        domain = Domain(["a", "b", "c"])
+        assert CategoricalColumn("f", domain, [0, 1, 2]).is_unique()
+        assert not CategoricalColumn("f", domain, [0, 0]).is_unique()
+
+    def test_take(self):
+        column = CategoricalColumn("f", Domain(["a", "b"]), [0, 1, 0, 1])
+        taken = column.take(np.array([1, 3]))
+        assert taken.codes.tolist() == [1, 1]
+        assert taken.name == "f"
+
+    def test_renamed_keeps_codes(self):
+        column = CategoricalColumn("f", Domain(["a"]), [0, 0])
+        renamed = column.renamed("g")
+        assert renamed.name == "g"
+        assert renamed.codes is column.codes
+
+    def test_with_codes(self):
+        column = CategoricalColumn("f", Domain(["a", "b"]), [0])
+        replaced = column.with_codes(np.array([1, 1]))
+        assert replaced.codes.tolist() == [1, 1]
+
+    @given(
+        st.lists(
+            st.sampled_from(["a", "b", "c"]), min_size=0, max_size=30
+        )
+    )
+    def test_counts_sum_to_length(self, values):
+        column = CategoricalColumn.from_labels(
+            "f", values, domain=Domain(["a", "b", "c"])
+        )
+        assert column.level_counts().sum() == len(values)

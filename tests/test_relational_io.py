@@ -1,0 +1,128 @@
+"""Tests for CSV ingestion (repro.relational.io)."""
+
+import pytest
+
+from repro.errors import ReferentialIntegrityError, SchemaError
+from repro.relational import audit_star_schema, join_all
+from repro.relational.io import (
+    read_csv_columns,
+    star_schema_from_csv,
+    table_from_csv,
+)
+
+
+@pytest.fixture
+def customer_csvs(tmp_path):
+    fact = tmp_path / "customers.csv"
+    fact.write_text(
+        "churn,gender,employer\n"
+        "yes,F,acme\n"
+        "no,M,globex\n"
+        "yes,F,acme\n"
+        "no,M,initech\n"
+    )
+    dim = tmp_path / "employers.csv"
+    dim.write_text(
+        "employer,state\n"
+        "acme,CA\n"
+        "globex,NY\n"
+        "initech,WI\n"
+    )
+    return fact, dim
+
+
+class TestReadCsv:
+    def test_reads_columns(self, customer_csvs):
+        fact, _ = customer_csvs
+        data = read_csv_columns(fact)
+        assert list(data) == ["churn", "gender", "employer"]
+        assert data["gender"] == ["F", "M", "F", "M"]
+
+    def test_empty_file_raises(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            read_csv_columns(empty)
+
+    def test_duplicate_header_raises(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,a\n1,2\n")
+        with pytest.raises(SchemaError, match="duplicate"):
+            read_csv_columns(bad)
+
+    def test_ragged_row_raises(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1\n")
+        with pytest.raises(SchemaError, match="expected 2 fields"):
+            read_csv_columns(bad)
+
+
+class TestTableFromCsv:
+    def test_builds_table(self, customer_csvs):
+        fact, _ = customer_csvs
+        table = table_from_csv(fact)
+        assert table.name == "customers"
+        assert table.n_rows == 4
+        assert table.column("churn").labels() == ["yes", "no", "yes", "no"]
+
+    def test_explicit_name_and_domain(self, customer_csvs):
+        from repro.relational import Domain
+
+        fact, _ = customer_csvs
+        domain = Domain(["yes", "no", "maybe"])
+        table = table_from_csv(fact, name="t", domains={"churn": domain})
+        assert table.name == "t"
+        assert table.domain("churn") is domain
+
+
+class TestStarSchemaFromCsv:
+    def test_assembles_valid_schema(self, customer_csvs):
+        fact, dim = customer_csvs
+        schema = star_schema_from_csv(
+            fact, target="churn", dimensions=[(dim, "employer", "employer")]
+        )
+        assert schema.q == 1
+        assert schema.home_features == ["gender"]
+        assert audit_star_schema(schema).all_fds_hold
+
+    def test_join_round_trip(self, customer_csvs):
+        fact, dim = customer_csvs
+        schema = star_schema_from_csv(
+            fact, target="churn", dimensions=[(dim, "employer", "employer")]
+        )
+        joined = join_all(schema)
+        assert joined.column("state").labels() == ["CA", "NY", "CA", "WI"]
+
+    def test_missing_fk_column_raises(self, customer_csvs, tmp_path):
+        fact, dim = customer_csvs
+        with pytest.raises(SchemaError, match="foreign key"):
+            star_schema_from_csv(
+                fact, target="churn", dimensions=[(dim, "nope", "employer")]
+            )
+
+    def test_missing_rid_column_raises(self, customer_csvs):
+        fact, dim = customer_csvs
+        with pytest.raises(SchemaError, match="key column"):
+            star_schema_from_csv(
+                fact, target="churn", dimensions=[(dim, "employer", "nope")]
+            )
+
+    def test_dangling_fk_detected(self, tmp_path):
+        fact = tmp_path / "fact.csv"
+        fact.write_text("y,fk\n0,a\n1,zzz\n")
+        dim = tmp_path / "dim.csv"
+        dim.write_text("k,v\na,1\n")
+        with pytest.raises(ReferentialIntegrityError):
+            star_schema_from_csv(
+                fact, target="y", dimensions=[(dim, "fk", "k")]
+            )
+
+    def test_open_fk_passthrough(self, customer_csvs):
+        fact, dim = customer_csvs
+        schema = star_schema_from_csv(
+            fact,
+            target="churn",
+            dimensions=[(dim, "employer", "employer")],
+            open_fks={"employer"},
+        )
+        assert schema.usable_fk_columns() == []

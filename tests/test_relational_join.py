@@ -1,0 +1,174 @@
+"""Tests for repro.relational.join and dependencies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import (
+    CategoricalColumn,
+    Domain,
+    KFKConstraint,
+    StarSchema,
+    Table,
+    audit_star_schema,
+    holds_functional_dependency,
+    join_all,
+    join_subset,
+    kfk_join,
+)
+
+
+class TestKfkJoin:
+    def test_join_appends_foreign_features(self, churn_schema):
+        joined = kfk_join(churn_schema, "Employers")
+        assert joined.column_names == [
+            "CustomerID",
+            "Churn",
+            "Gender",
+            "Age",
+            "Employer",
+            "State",
+            "Revenue",
+        ]
+        assert joined.n_rows == 8
+
+    def test_join_values_follow_fk(self, churn_schema):
+        joined = kfk_join(churn_schema, "Employers")
+        # Fact FK codes are [0,1,2,3,0,1,2,3]; employer states are
+        # [CA, NY, CA, WI] in dimension-row order.
+        assert joined.column("State").labels() == [
+            "CA", "NY", "CA", "WI", "CA", "NY", "CA", "WI",
+        ]
+
+    def test_join_with_permuted_dimension_rows(self, customers, employer_domain):
+        # The dimension's physical row order must not matter: permute rows.
+        state = Domain(["CA", "NY", "WI"])
+        dim = Table(
+            "Employers",
+            [
+                CategoricalColumn("Employer", employer_domain, [3, 2, 1, 0]),
+                CategoricalColumn("State", state, [2, 0, 1, 0]),
+            ],
+        )
+        schema = StarSchema(
+            fact=customers,
+            target="Churn",
+            dimensions=[(dim, KFKConstraint("Employer", "Employers", "Employer"))],
+        )
+        joined = kfk_join(schema, "Employers")
+        # employer code 0 (acme) sits at dimension row 3 with state CA.
+        first_row_state = joined.column("State").labels()[0]
+        assert first_row_state == "CA"
+
+    def test_join_name_clash_raises(self, customers, employers, employer_domain):
+        clashing = customers.with_column(
+            CategoricalColumn("State", Domain(["CA"]), np.zeros(8, dtype=int))
+        )
+        schema = StarSchema(
+            fact=clashing,
+            target="Churn",
+            dimensions=[
+                (employers, KFKConstraint("Employer", "Employers", "Employer"))
+            ],
+        )
+        with pytest.raises(SchemaError, match="already exists"):
+            kfk_join(schema, "Employers")
+
+
+class TestJoinSubset:
+    def test_empty_subset_returns_fact_features_only(self, churn_schema):
+        joined = join_subset(churn_schema, [])
+        assert joined.column_names == churn_schema.fact.column_names
+
+    def test_join_all_equals_full_subset(self, churn_schema):
+        assert (
+            join_all(churn_schema).column_names
+            == join_subset(churn_schema, ["Employers"]).column_names
+        )
+
+    def test_unknown_dimension_raises(self, churn_schema):
+        with pytest.raises(SchemaError, match="unknown"):
+            join_subset(churn_schema, ["Nope"])
+
+    def test_duplicate_dimension_raises(self, churn_schema):
+        with pytest.raises(SchemaError, match="duplicate"):
+            join_subset(churn_schema, ["Employers", "Employers"])
+
+
+class TestFunctionalDependency:
+    def test_fk_determines_foreign_features_after_join(self, churn_schema):
+        joined = join_all(churn_schema)
+        assert holds_functional_dependency(
+            joined, ["Employer"], ["State", "Revenue"]
+        )
+
+    def test_violated_fd_detected(self):
+        table = Table.from_labels(
+            "t", {"k": ["a", "a"], "v": ["x", "y"]}
+        )
+        assert not holds_functional_dependency(table, ["k"], ["v"])
+
+    def test_empty_dependents_trivially_hold(self, churn_schema):
+        assert holds_functional_dependency(churn_schema.fact, ["Employer"], [])
+
+    def test_empty_table_trivially_holds(self):
+        domain = Domain(["a"])
+        table = Table(
+            "t",
+            [
+                CategoricalColumn("k", domain, []),
+                CategoricalColumn("v", domain, []),
+            ],
+        )
+        assert holds_functional_dependency(table, ["k"], ["v"])
+
+    def test_multi_column_determinant(self):
+        table = Table.from_labels(
+            "t",
+            {
+                "k1": ["a", "a", "b", "b"],
+                "k2": ["p", "q", "p", "q"],
+                "v": ["1", "2", "3", "4"],
+            },
+        )
+        assert holds_functional_dependency(table, ["k1", "k2"], ["v"])
+        assert not holds_functional_dependency(table, ["k1"], ["v"])
+
+
+class TestAudit:
+    def test_audit_reports_fd_and_ratio(self, churn_schema):
+        report = audit_star_schema(churn_schema)
+        assert report.fact_rows == 8
+        assert report.all_fds_hold
+        entry = report.audit_for("Employers")
+        assert entry.tuple_ratio == pytest.approx(2.0)
+        assert entry.n_foreign_features == 2
+        assert entry.fk_levels_unused == 0
+
+    def test_audit_counts_unused_fk_levels(self, employers, employer_domain):
+        churn = Domain(["no", "yes"])
+        fact = Table(
+            "Customers",
+            [
+                CategoricalColumn("Churn", churn, [0, 1]),
+                CategoricalColumn("Employer", employer_domain, [0, 0]),
+            ],
+        )
+        schema = StarSchema(
+            fact=fact,
+            target="Churn",
+            dimensions=[
+                (employers, KFKConstraint("Employer", "Employers", "Employer"))
+            ],
+        )
+        report = audit_star_schema(schema)
+        assert report.audit_for("Employers").fk_levels_unused == 3
+
+    def test_audit_str_rendering(self, churn_schema):
+        text = str(audit_star_schema(churn_schema))
+        assert "tuple_ratio" in text
+        assert "Employers" in text
+
+    def test_audit_for_unknown_raises(self, churn_schema):
+        with pytest.raises(KeyError):
+            audit_star_schema(churn_schema).audit_for("Nope")

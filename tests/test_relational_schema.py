@@ -1,0 +1,150 @@
+"""Tests for repro.relational.schema: StarSchema and KFK constraints."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReferentialIntegrityError, SchemaError
+from repro.relational import (
+    CategoricalColumn,
+    Domain,
+    KFKConstraint,
+    StarSchema,
+    Table,
+)
+
+
+class TestStructure:
+    def test_q_and_dimension_names(self, churn_schema):
+        assert churn_schema.q == 1
+        assert churn_schema.dimension_names == ["Employers"]
+
+    def test_home_features_exclude_key_target_fk(self, churn_schema):
+        assert churn_schema.home_features == ["Gender", "Age"]
+
+    def test_foreign_features(self, churn_schema):
+        assert churn_schema.foreign_features("Employers") == ["State", "Revenue"]
+
+    def test_fk_columns(self, churn_schema):
+        assert churn_schema.fk_columns == ["Employer"]
+
+    def test_unknown_dimension_raises(self, churn_schema):
+        with pytest.raises(SchemaError, match="available"):
+            churn_schema.dimension("Nope")
+        with pytest.raises(SchemaError, match="available"):
+            churn_schema.constraint("Nope")
+
+    def test_tuple_ratio(self, churn_schema):
+        assert churn_schema.tuple_ratio("Employers") == pytest.approx(8 / 4)
+
+
+class TestValidation:
+    def test_missing_target_rejected(self, customers, employers):
+        with pytest.raises(SchemaError, match="target"):
+            StarSchema(
+                fact=customers,
+                target="NotAColumn",
+                dimensions=[
+                    (employers, KFKConstraint("Employer", "Employers", "Employer"))
+                ],
+            )
+
+    def test_nonunique_dimension_key_rejected(self, customers, employer_domain):
+        bad_dim = Table(
+            "Employers",
+            [
+                CategoricalColumn("Employer", employer_domain, [0, 0, 1, 2]),
+                CategoricalColumn("State", Domain(["CA"]), [0, 0, 0, 0]),
+            ],
+        )
+        with pytest.raises(SchemaError, match="not unique"):
+            StarSchema(
+                fact=customers,
+                target="Churn",
+                dimensions=[
+                    (bad_dim, KFKConstraint("Employer", "Employers", "Employer"))
+                ],
+            )
+
+    def test_dangling_fk_rejected(self, customers, employer_domain):
+        partial_dim = Table(
+            "Employers",
+            [
+                CategoricalColumn("Employer", employer_domain, [0, 1]),
+                CategoricalColumn("State", Domain(["CA"]), [0, 0]),
+            ],
+        )
+        with pytest.raises(ReferentialIntegrityError, match="missing dimension keys"):
+            StarSchema(
+                fact=customers,
+                target="Churn",
+                dimensions=[
+                    (partial_dim, KFKConstraint("Employer", "Employers", "Employer"))
+                ],
+            )
+
+    def test_domain_mismatch_rejected(self, customers):
+        other_domain = Domain(["acme", "globex", "initech", "umbrella", "extra"])
+        dim = Table(
+            "Employers",
+            [
+                CategoricalColumn("Employer", other_domain, [0, 1, 2, 3]),
+                CategoricalColumn("State", Domain(["CA"]), [0, 0, 0, 0]),
+            ],
+        )
+        with pytest.raises(ReferentialIntegrityError, match="domain"):
+            StarSchema(
+                fact=customers,
+                target="Churn",
+                dimensions=[(dim, KFKConstraint("Employer", "Employers", "Employer"))],
+            )
+
+    def test_open_fk_must_be_fk(self, customers, employers):
+        with pytest.raises(SchemaError, match="open_fks"):
+            StarSchema(
+                fact=customers,
+                target="Churn",
+                dimensions=[
+                    (employers, KFKConstraint("Employer", "Employers", "Employer"))
+                ],
+                open_fks={"Gender"},
+            )
+
+    def test_open_fk_excluded_from_usable(self, customers, employers):
+        schema = StarSchema(
+            fact=customers,
+            target="Churn",
+            dimensions=[
+                (employers, KFKConstraint("Employer", "Employers", "Employer"))
+            ],
+            open_fks={"Employer"},
+        )
+        assert schema.usable_fk_columns() == []
+
+    def test_duplicate_dimension_names_rejected(self, customers, employers):
+        with pytest.raises(SchemaError, match="unique"):
+            StarSchema(
+                fact=customers,
+                target="Churn",
+                dimensions=[
+                    (employers, KFKConstraint("Employer", "Employers", "Employer")),
+                    (employers, KFKConstraint("Employer", "Employers", "Employer")),
+                ],
+            )
+
+
+class TestJoinGraph:
+    def test_star_topology(self, churn_schema):
+        graph = churn_schema.join_graph()
+        assert graph.number_of_nodes() == 2
+        assert graph.number_of_edges() == 1
+        edge = graph.edges["Customers", "Employers"]
+        assert edge["fk"] == "Employer"
+        assert edge["tuple_ratio"] == pytest.approx(2.0)
+
+    def test_node_kinds(self, churn_schema):
+        graph = churn_schema.join_graph()
+        assert graph.nodes["Customers"]["kind"] == "fact"
+        assert graph.nodes["Employers"]["kind"] == "dimension"
+
+    def test_repr(self, churn_schema):
+        assert "StarSchema" in repr(churn_schema)

@@ -1,0 +1,141 @@
+"""Tests for repro.relational.table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import CategoricalColumn, Domain, Table
+
+
+def _table():
+    d_ab = Domain(["a", "b"])
+    d_xyz = Domain(["x", "y", "z"])
+    return Table(
+        "t",
+        [
+            CategoricalColumn("f1", d_ab, [0, 1, 0, 1]),
+            CategoricalColumn("f2", d_xyz, [0, 1, 2, 0]),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        table = _table()
+        assert table.n_rows == 4
+        assert table.column_names == ["f1", "f2"]
+
+    def test_duplicate_column_names_rejected(self):
+        domain = Domain(["a"])
+        with pytest.raises(SchemaError, match="duplicate"):
+            Table(
+                "t",
+                [
+                    CategoricalColumn("f", domain, [0]),
+                    CategoricalColumn("f", domain, [0]),
+                ],
+            )
+
+    def test_ragged_lengths_rejected(self):
+        domain = Domain(["a"])
+        with pytest.raises(SchemaError, match="ragged"):
+            Table(
+                "t",
+                [
+                    CategoricalColumn("f1", domain, [0]),
+                    CategoricalColumn("f2", domain, [0, 0]),
+                ],
+            )
+
+    def test_empty_table(self):
+        table = Table("empty", [])
+        assert table.n_rows == 0
+        assert table.column_names == []
+
+    def test_from_labels(self):
+        table = Table.from_labels("t", {"f": ["a", "b"], "g": ["x", "x"]})
+        assert table.n_rows == 2
+        assert table.column("g").labels() == ["x", "x"]
+
+
+class TestAccess:
+    def test_column_lookup_error_lists_available(self):
+        with pytest.raises(SchemaError, match="available"):
+            _table().column("missing")
+
+    def test_codes_and_domain_shorthands(self):
+        table = _table()
+        assert table.codes("f1").tolist() == [0, 1, 0, 1]
+        assert table.domain("f2") == Domain(["x", "y", "z"])
+
+    def test_contains(self):
+        table = _table()
+        assert "f1" in table
+        assert "nope" not in table
+
+
+class TestOperations:
+    def test_project_orders_columns(self):
+        projected = _table().project(["f2", "f1"])
+        assert projected.column_names == ["f2", "f1"]
+
+    def test_drop(self):
+        assert _table().drop(["f1"]).column_names == ["f2"]
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(SchemaError, match="missing"):
+            _table().drop(["zzz"])
+
+    def test_select_by_indices(self):
+        selected = _table().select(np.array([3, 0]))
+        assert selected.codes("f1").tolist() == [1, 0]
+
+    def test_select_by_mask(self):
+        mask = np.array([True, False, True, False])
+        assert _table().select(mask).n_rows == 2
+
+    def test_select_mask_wrong_shape_raises(self):
+        with pytest.raises(SchemaError, match="mask"):
+            _table().select(np.array([True, False]))
+
+    def test_with_column_appends(self):
+        extra = CategoricalColumn("f3", Domain(["k"]), [0, 0, 0, 0])
+        assert _table().with_column(extra).column_names == ["f1", "f2", "f3"]
+
+    def test_with_column_replaces_same_name(self):
+        replacement = CategoricalColumn("f1", Domain(["q"]), [0, 0, 0, 0])
+        table = _table().with_column(replacement)
+        assert table.column("f1").domain == Domain(["q"])
+        assert table.column_names == ["f2", "f1"]
+
+    def test_with_column_length_mismatch_raises(self):
+        bad = CategoricalColumn("f3", Domain(["k"]), [0])
+        with pytest.raises(SchemaError, match="rows"):
+            _table().with_column(bad)
+
+    def test_renamed(self):
+        assert _table().renamed("other").name == "other"
+
+
+class TestKeys:
+    def test_primary_key_detection(self):
+        domain = Domain.of_size(3)
+        unique = Table("t", [CategoricalColumn("id", domain, [0, 1, 2])])
+        assert unique.is_primary_key("id")
+        unique.require_primary_key("id")
+
+    def test_require_primary_key_raises_on_duplicates(self):
+        domain = Domain.of_size(3)
+        dupes = Table("t", [CategoricalColumn("id", domain, [0, 0])])
+        with pytest.raises(SchemaError, match="not unique"):
+            dupes.require_primary_key("id")
+
+
+class TestRendering:
+    def test_head_renders_all_columns(self):
+        text = _table().head(2)
+        assert "f1" in text and "f2" in text
+        assert len(text.splitlines()) == 3
+
+    def test_repr(self):
+        assert "rows=4" in repr(_table())

@@ -1,0 +1,50 @@
+"""Tests for the RNG plumbing (repro.rng)."""
+
+import numpy as np
+import pytest
+
+from repro.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1000, 5)
+        b = ensure_rng(7).integers(0, 1000, 5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough_shares_state(self):
+        rng = np.random.default_rng(0)
+        same = ensure_rng(rng)
+        assert same is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError, match="seed"):
+            ensure_rng("seed")
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_children_are_independent_and_deterministic(self):
+        first = [r.integers(0, 10_000) for r in spawn_rngs(5, 3)]
+        second = [r.integers(0, 10_000) for r in spawn_rngs(5, 3)]
+        assert first == second
+        assert len(set(first)) > 1  # streams differ from each other
+
+    def test_count_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(0, -1)
+
+    def test_spawning_from_generator(self):
+        rng = np.random.default_rng(1)
+        children = spawn_rngs(rng, 4)
+        assert len(children) == 4
+        values = [int(c.integers(0, 2**31)) for c in children]
+        assert len(set(values)) == 4

@@ -1,0 +1,80 @@
+"""Regularisation-monotonicity properties of the CART implementation.
+
+rpart semantics imply two monotone relationships: raising ``cp`` or
+``minsplit`` can only shrink (never grow) the fitted tree.  These hold
+for any dataset, which makes them ideal hypothesis properties.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import DecisionTreeClassifier
+from repro.ml.encoding import CategoricalMatrix
+
+
+def _random_problem(seed, n=150, d=3, k=5):
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, k, size=(n, d))
+    signal = (codes[:, 0] >= k // 2).astype(np.int64)
+    noise = rng.random(n) < 0.2
+    y = np.where(noise, 1 - signal, signal)
+    names = tuple(f"f{i}" for i in range(d))
+    return CategoricalMatrix(codes, (k,) * d, names), y
+
+
+class TestCpMonotonicity:
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_higher_cp_never_grows_the_tree(self, seed):
+        X, y = _random_problem(seed)
+        leaves = []
+        for cp in (0.0, 0.01, 0.1, 1.0):
+            tree = DecisionTreeClassifier(minsplit=2, cp=cp).fit(X, y)
+            leaves.append(tree.n_leaves_)
+        assert leaves == sorted(leaves, reverse=True)
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_higher_minsplit_never_grows_the_tree(self, seed):
+        X, y = _random_problem(seed)
+        leaves = []
+        for minsplit in (2, 10, 50, 1000):
+            tree = DecisionTreeClassifier(minsplit=minsplit, cp=0.0).fit(X, y)
+            leaves.append(tree.n_leaves_)
+        assert leaves == sorted(leaves, reverse=True)
+
+
+class TestCriterionAgreementOnCleanSignal:
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_all_criteria_recover_a_noiseless_subset_concept(self, seed):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 6, size=(200, 2))
+        y = (codes[:, 0] % 2).astype(np.int64)  # noiseless parity subset
+        X = CategoricalMatrix(codes, (6, 6), ("f0", "f1"))
+        for criterion in ("gini", "entropy", "gain_ratio"):
+            tree = DecisionTreeClassifier(
+                criterion=criterion, minsplit=2, cp=0.0
+            ).fit(X, y)
+            assert tree.score(X, y) == 1.0, criterion
+
+    def test_gain_ratio_penalises_wide_splits_relative_to_entropy(self):
+        """Gain ratio divides by split information, so a balanced binary
+        feature (split info 1 bit) is preferred over a fragmented
+        many-level feature with equal raw gain."""
+        rng = np.random.default_rng(0)
+        n = 400
+        binary = rng.integers(0, 2, size=n)
+        wide = rng.integers(0, 40, size=n)
+        # Both features carry the same signal: y = binary, and wide's
+        # levels are assigned to classes via binary's value with noise.
+        y = binary.copy()
+        codes = np.stack([wide, binary], axis=1)
+        X = CategoricalMatrix(codes, (40, 2), ("wide", "binary"))
+        tree = DecisionTreeClassifier(
+            criterion="gain_ratio", minsplit=2, cp=0.0
+        ).fit(X, y)
+        # The root split must be the clean binary feature.
+        assert tree.feature_names_[tree.root_.feature] == "binary"
