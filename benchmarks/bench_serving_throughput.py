@@ -1,0 +1,50 @@
+"""Serving throughput: single-row vs micro-batched, JoinAll vs NoJoin.
+
+The serving-side counterpart of Figure 1's training-time argument.  A
+JoinAll model must gather every dimension's foreign features on each
+request; a NoJoin model serves straight off the fact row.  Micro-batching
+then amortises the per-call overhead (request encoding aside, assembly
+and prediction are fully vectorized).
+
+Shape check: the headline ratio — micro-batched NoJoin over single-row
+JoinAll — must be at least 5x, and NoJoin must beat JoinAll within each
+serving path.
+"""
+
+from repro.datasets import generate_real_world
+from repro.serving import serving_throughput
+
+from conftest import run_once
+
+ROWS = 4000
+BATCH_SIZE = 64
+
+
+def test_serving_throughput(benchmark, scale):
+    dataset = generate_real_world("yelp", n_fact=scale.n_fact, seed=0)
+
+    report = run_once(
+        benchmark,
+        lambda: serving_throughput(
+            dataset,
+            model_key="dt_gini",
+            rows=ROWS,
+            batch_size=BATCH_SIZE,
+            scale=scale,
+        ),
+    )
+
+    print()
+    print(report.render())
+
+    assert (
+        report.rates[("NoJoin", "single")] > report.rates[("JoinAll", "single")]
+    ), "NoJoin must serve faster than JoinAll on the single-row path"
+    assert (
+        report.rates[("NoJoin", "batched")]
+        > report.rates[("JoinAll", "batched")]
+    ), "NoJoin must serve faster than JoinAll on the batched path"
+    assert report.speedup >= 5.0, (
+        f"micro-batched NoJoin should be >= 5x single-row JoinAll, "
+        f"got {report.speedup:.1f}x"
+    )

@@ -1,0 +1,11 @@
+"""Compatibility shim for legacy editable installs.
+
+All metadata lives in ``pyproject.toml``.  This file exists so
+``pip install -e . --no-use-pep517`` (and ``python setup.py develop``)
+keep working on toolchains too old to build PEP 660 editable wheels —
+e.g. offline environments without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

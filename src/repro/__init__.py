@@ -5,7 +5,7 @@ Classifiers?" studies whether key-foreign-key (KFK) joins that bring in
 foreign features can be skipped ("avoiding joins safely") when training
 decision trees, kernel SVMs, ANNs and other high-capacity classifiers.
 
-The package is organised in five layers:
+The package is organised in six layers:
 
 - :mod:`repro.relational` — an in-memory relational substrate: categorical
   columns with closed domains, tables, star schemas with KFK constraints,
@@ -22,6 +22,9 @@ The package is organised in five layers:
   domain compression, and unseen-foreign-key smoothing.
 - :mod:`repro.experiments` — the experiment harness reproducing every
   table and figure in the paper's evaluation.
+- :mod:`repro.serving` — online inference: versioned model artifacts,
+  a feature service with cached dimension indexes, micro-batched
+  prediction, and the in-process :class:`~repro.serving.PredictionServer`.
 """
 
 from repro.errors import (
@@ -33,7 +36,20 @@ from repro.errors import (
 )
 from repro.rng import ensure_rng
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Serving-layer names re-exported lazily so ``import repro`` stays light
+#: (resolving any of them pulls in numpy and the full model substrate).
+_SERVING_EXPORTS = (
+    "FeatureService",
+    "MicroBatcher",
+    "ModelArtifact",
+    "PredictionServer",
+    "artifact_from_pipeline",
+    "load_artifact",
+    "save_artifact",
+    "schema_fingerprint",
+)
 
 __all__ = [
     "NotFittedError",
@@ -43,4 +59,14 @@ __all__ = [
     "UnseenCategoryError",
     "ensure_rng",
     "__version__",
+    *_SERVING_EXPORTS,
 ]
+
+
+def __getattr__(name: str):
+    """Resolve serving re-exports on first access (PEP 562)."""
+    if name in _SERVING_EXPORTS:
+        import repro.serving
+
+        return getattr(repro.serving, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,12 +1,16 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-Four subcommands cover the workflows a downstream user reaches for
+The subcommands cover the workflows a downstream user reaches for
 first:
 
-- ``advise``    — join-safety advice for an emulated dataset.
-- ``stats``     — Table-1-style statistics for the emulated datasets.
-- ``run``       — one experiment cell (dataset × model × strategy).
-- ``simulate``  — a OneXr Monte Carlo sweep over the FK domain size.
+- ``advise``      — join-safety advice for an emulated dataset.
+- ``stats``       — Table-1-style statistics for the emulated datasets.
+- ``run``         — one experiment cell (dataset × model × strategy).
+- ``simulate``    — a OneXr Monte Carlo sweep over the FK domain size.
+- ``usage``       — FK split-usage analysis of a fitted tree.
+- ``save-model``  — fit a pipeline and export it as a serving artifact.
+- ``predict``     — serve predictions from a saved artifact.
+- ``serve-bench`` — single-row vs micro-batched serving throughput.
 
 Everything the CLI does is a thin veneer over the public API, so the
 commands double as living documentation of it.
@@ -99,6 +103,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--p", type=float, default=0.1)
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument("--csv", action="store_true", help="emit CSV")
+
+    p_save = sub.add_parser(
+        "save-model", help="fit a pipeline and export a serving artifact"
+    )
+    p_save.add_argument("dataset", choices=DATASET_ORDER)
+    p_save.add_argument("model", choices=sorted(MODEL_REGISTRY))
+    p_save.add_argument(
+        "--strategy",
+        choices=[*sorted(_STRATEGIES), "Advised"],
+        default="NoJoin",
+        help="feature-set strategy; 'Advised' applies the tuple-ratio rule",
+    )
+    p_save.add_argument("--scale", choices=["smoke", "default", "paper"])
+    p_save.add_argument("--seed", type=int, default=0)
+    p_save.add_argument("--out", required=True, help="artifact output path")
+
+    p_pred = sub.add_parser(
+        "predict", help="serve predictions from a saved artifact"
+    )
+    p_pred.add_argument("artifact", help="path written by save-model")
+    p_pred.add_argument(
+        "--rows", type=int, default=10, help="test rows to predict"
+    )
+    p_pred.add_argument(
+        "--batch-size", type=int, default=64, help="micro-batch size"
+    )
+
+    p_bench = sub.add_parser(
+        "serve-bench",
+        help="single-row vs micro-batched serving throughput",
+    )
+    p_bench.add_argument("dataset", choices=DATASET_ORDER)
+    p_bench.add_argument(
+        "--model", choices=sorted(MODEL_REGISTRY), default="dt_gini"
+    )
+    p_bench.add_argument("--rows", type=int, default=2000)
+    p_bench.add_argument("--batch-size", type=int, default=64)
+    p_bench.add_argument("--scale", choices=["smoke", "default", "paper"])
+    p_bench.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -167,19 +210,112 @@ def _cmd_usage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_strategy(name: str, dataset, model_key: str):
+    """Map a CLI strategy name to a strategy, honouring the advisor."""
+    if name == "Advised":
+        family = MODEL_REGISTRY[model_key].family
+        report = advise(
+            dataset.schema, family, train_rows=dataset.train.size
+        )
+        return report.recommended_strategy()
+    return _STRATEGIES[name]()
+
+
+def _cmd_save_model(args: argparse.Namespace) -> int:
+    from repro.experiments import fit_pipeline
+    from repro.serving import artifact_from_pipeline, save_artifact
+
+    scale = get_scale(args.scale)
+    dataset = generate_real_world(
+        args.dataset, n_fact=scale.n_fact, seed=args.seed
+    )
+    strategy = _resolve_strategy(args.strategy, dataset, args.model)
+    pipeline = fit_pipeline(dataset, args.model, strategy, scale=scale)
+    artifact = artifact_from_pipeline(
+        pipeline,
+        dataset.schema,
+        metadata={"seed": args.seed, "n_fact": scale.n_fact},
+    )
+    path = save_artifact(artifact, args.out)
+    print(pipeline.result())
+    print(f"saved {artifact.summary()}")
+    print(f"  -> {path}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.serving import PredictionServer, load_artifact
+
+    artifact = load_artifact(args.artifact)
+    dataset = generate_real_world(
+        artifact.dataset_name,
+        n_fact=artifact.metadata.get("n_fact"),
+        seed=artifact.metadata.get("seed", 0),
+    )
+    server = PredictionServer(
+        artifact, dataset.schema, max_batch_size=args.batch_size
+    )
+    rows = dataset.test[: args.rows]
+    if rows.size == 0:
+        print("no rows requested (increase --rows)", file=sys.stderr)
+        return 2
+    fact_rows = dataset.schema.fact.select(rows)
+    predictions = server.predict_table(fact_rows)
+    target = dataset.schema.fact.column(dataset.schema.target)
+    observed = target.domain.decode(target.codes[rows])
+    hits = sum(p == o for p, o in zip(predictions, observed))
+    print(f"{artifact.summary()}")
+    for i, (p, o) in enumerate(zip(predictions, observed)):
+        print(f"  row {rows[i]}: predicted={p!r} observed={o!r}")
+    print(f"accuracy {hits}/{len(predictions)} = {hits / len(predictions):.3f}")
+    print(server.stats())
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serving import serving_throughput
+
+    scale = get_scale(args.scale)
+    dataset = generate_real_world(
+        args.dataset, n_fact=scale.n_fact, seed=args.seed
+    )
+    report = serving_throughput(
+        dataset,
+        model_key=args.model,
+        rows=args.rows,
+        batch_size=args.batch_size,
+        scale=scale,
+    )
+    print(report.render())
+    return 0
+
+
 _COMMANDS = {
     "advise": _cmd_advise,
     "stats": _cmd_stats,
     "run": _cmd_run,
     "simulate": _cmd_simulate,
     "usage": _cmd_usage,
+    "save-model": _cmd_save_model,
+    "predict": _cmd_predict,
+    "serve-bench": _cmd_serve_bench,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Library errors (:class:`ReproError`) are rendered as one-line
+    messages with exit code 2 instead of tracebacks.
+    """
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

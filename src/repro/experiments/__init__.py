@@ -31,8 +31,10 @@ from repro.experiments.fk_experiments import (
 from repro.experiments.reporting import AccuracyTable, FigureSeries
 from repro.experiments.runner import (
     MODEL_REGISTRY,
+    FittedPipeline,
     ModelSpec,
     RunResult,
+    fit_pipeline,
     run_experiment,
 )
 from repro.experiments.simulation import MonteCarloResult, run_monte_carlo, sweep
@@ -41,6 +43,7 @@ __all__ = [
     "AccuracyTable",
     "DEFAULT",
     "FigureSeries",
+    "FittedPipeline",
     "FkUsageReport",
     "MODEL_REGISTRY",
     "ModelSpec",
@@ -49,6 +52,7 @@ __all__ = [
     "RunResult",
     "SMOKE",
     "Scale",
+    "fit_pipeline",
     "fk_usage_across_datasets",
     "fk_usage_report",
     "get_scale",

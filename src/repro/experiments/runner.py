@@ -193,14 +193,63 @@ class RunResult:
         )
 
 
-def run_experiment(
+@dataclass
+class FittedPipeline:
+    """A tuned, trained pipeline kept alive after its experiment cell.
+
+    Historically the runner fitted a tuner, scored it and threw it away;
+    this container is what the serving layer needs instead: the fitted
+    predictor together with the strategy and feature list that define how
+    to assemble its inputs.  Build one with :func:`fit_pipeline` and hand
+    it to :func:`repro.serving.artifact_from_pipeline` to export it.
+    """
+
+    dataset_name: str
+    model_key: str
+    spec: ModelSpec
+    strategy: JoinStrategy
+    tuner: Any
+    matrices: StrategyMatrices
+    fit_seconds: float
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        """Feature columns the fitted tuner consumes, in matrix order."""
+        return self.matrices.feature_names
+
+    def predict(self, X: CategoricalMatrix) -> np.ndarray:
+        """Predict integer class codes with the tuned model."""
+        return self.tuner.predict(X)
+
+    def result(self) -> RunResult:
+        """Score the pipeline into the :class:`RunResult` table row."""
+        test_accuracy = self.tuner.score(self.matrices.X_test, self.matrices.y_test)
+        train_accuracy = self.tuner.score(
+            self.matrices.X_train, self.matrices.y_train
+        )
+        return RunResult(
+            dataset=self.dataset_name,
+            model=self.spec.display,
+            strategy=self.strategy.name,
+            test_accuracy=test_accuracy,
+            train_accuracy=train_accuracy,
+            validation_accuracy=float(
+                getattr(self.tuner, "best_validation_accuracy_", np.nan)
+            ),
+            seconds=self.fit_seconds,
+            n_features=self.matrices.X_train.n_features,
+            best_params=dict(getattr(self.tuner, "best_params_", {})),
+        )
+
+
+def fit_pipeline(
     dataset: SplitDataset,
     model_key: str,
     strategy: JoinStrategy,
     scale: Scale | None = None,
     matrices: StrategyMatrices | None = None,
-) -> RunResult:
-    """Run one experiment cell end to end.
+) -> FittedPipeline:
+    """Materialise, tune and train one pipeline, keeping the fitted model.
 
     Parameters
     ----------
@@ -215,13 +264,6 @@ def run_experiment(
     matrices:
         Pre-materialised matrices (to share the join across models);
         built from the strategy when omitted.
-
-    Returns
-    -------
-    RunResult
-        Accuracies on all three splits plus the end-to-end time, which
-        covers feature materialisation, the full grid search, refit and
-        test-set scoring — the paper's Figure 1 quantity.
     """
     try:
         spec = MODEL_REGISTRY[model_key]
@@ -240,19 +282,36 @@ def run_experiment(
         matrices.X_validation,
         matrices.y_validation,
     )
-    test_accuracy = tuner.score(matrices.X_test, matrices.y_test)
-    train_accuracy = tuner.score(matrices.X_train, matrices.y_train)
     elapsed = time.perf_counter() - started
-    return RunResult(
-        dataset=dataset.name,
-        model=spec.display,
-        strategy=strategy.name,
-        test_accuracy=test_accuracy,
-        train_accuracy=train_accuracy,
-        validation_accuracy=float(
-            getattr(tuner, "best_validation_accuracy_", np.nan)
-        ),
-        seconds=elapsed,
-        n_features=matrices.X_train.n_features,
-        best_params=dict(getattr(tuner, "best_params_", {})),
+    return FittedPipeline(
+        dataset_name=dataset.name,
+        model_key=model_key,
+        spec=spec,
+        strategy=strategy,
+        tuner=tuner,
+        matrices=matrices,
+        fit_seconds=elapsed,
     )
+
+
+def run_experiment(
+    dataset: SplitDataset,
+    model_key: str,
+    strategy: JoinStrategy,
+    scale: Scale | None = None,
+    matrices: StrategyMatrices | None = None,
+) -> RunResult:
+    """Run one experiment cell end to end.
+
+    A thin wrapper over :func:`fit_pipeline` that immediately scores the
+    pipeline and discards it.  The reported time covers feature
+    materialisation, the full grid search, refit and test-set scoring —
+    the paper's Figure 1 quantity.
+    """
+    started = time.perf_counter()
+    pipeline = fit_pipeline(
+        dataset, model_key, strategy, scale=scale, matrices=matrices
+    )
+    result = pipeline.result()
+    result.seconds = time.perf_counter() - started
+    return result

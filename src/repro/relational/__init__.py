@@ -20,7 +20,13 @@ from repro.relational.io import (
     star_schema_from_csv,
     table_from_csv,
 )
-from repro.relational.join import join_all, join_subset, kfk_join
+from repro.relational.join import (
+    dimension_row_index,
+    join_all,
+    join_subset,
+    kfk_join,
+    resolve_dimension_rows,
+)
 from repro.relational.schema import KFKConstraint, StarSchema
 from repro.relational.table import Table
 
@@ -32,10 +38,12 @@ __all__ = [
     "StarSchema",
     "Table",
     "audit_star_schema",
+    "dimension_row_index",
     "holds_functional_dependency",
     "join_all",
     "join_subset",
     "kfk_join",
+    "resolve_dimension_rows",
     "read_csv_columns",
     "star_schema_from_csv",
     "table_from_csv",

@@ -15,23 +15,65 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.errors import SchemaError
+from repro.errors import ReferentialIntegrityError, SchemaError
 from repro.relational.column import CategoricalColumn
 from repro.relational.schema import StarSchema
 from repro.relational.table import Table
 
 
-def _dimension_row_index(schema: StarSchema, name: str) -> np.ndarray:
+def dimension_row_index(schema: StarSchema, name: str) -> np.ndarray:
     """Map each dimension-key code to its row position in the dimension.
 
     Entries for codes that never occur in the dimension are ``-1``;
-    referential integrity guarantees the fact table never looks them up.
+    :func:`resolve_dimension_rows` turns a lookup that lands on one into
+    a loud :class:`ReferentialIntegrityError`.  The serving layer
+    (:mod:`repro.serving.feature_service`) caches these index arrays so
+    per-request KFK lookups are O(1) gathers instead of re-joins.
     """
     table = schema.dimension(name)
     rid = table.column(schema.constraint(name).rid_column)
     index = np.full(len(rid.domain), -1, dtype=np.int64)
     index[rid.codes] = np.arange(len(rid.codes), dtype=np.int64)
     return index
+
+
+def resolve_dimension_rows(
+    schema: StarSchema,
+    name: str,
+    fk_codes: np.ndarray,
+    row_of_code: np.ndarray | None = None,
+) -> np.ndarray:
+    """Gather dimension row positions for a vector of foreign-key codes.
+
+    Raises
+    ------
+    ReferentialIntegrityError
+        If any foreign-key code has no matching dimension row.  The
+        message names the dangling key labels so a serving-time
+        referential-integrity violation is immediately diagnosable.
+    """
+    if row_of_code is None:
+        row_of_code = dimension_row_index(schema, name)
+    fk_codes = np.asarray(fk_codes, dtype=np.int64)
+    invalid = (fk_codes < 0) | (fk_codes >= row_of_code.size)
+    if invalid.any():
+        bad = np.unique(fk_codes[invalid])
+        raise ReferentialIntegrityError(
+            f"dimension {name!r}: foreign-key codes {bad[:5].tolist()} are "
+            f"outside the key domain of size {row_of_code.size}"
+        )
+    dim_rows = row_of_code[fk_codes]
+    dangling = np.unique(fk_codes[dim_rows < 0])
+    if dangling.size:
+        rid = schema.constraint(name).rid_column
+        domain = schema.dimension(name).column(rid).domain
+        labels = domain.decode(dangling[:5])
+        raise ReferentialIntegrityError(
+            f"dimension {name!r}: {dangling.size} foreign-key value(s) have "
+            f"no dimension row, e.g. {labels}; the closed-domain assumption "
+            f"(Section 2.2) requires every FK value to resolve"
+        )
+    return dim_rows
 
 
 def kfk_join(schema: StarSchema, name: str, fact: Table | None = None) -> Table:
@@ -63,12 +105,9 @@ def kfk_join(schema: StarSchema, name: str, fact: Table | None = None) -> Table:
             f"cannot join {name!r}: table {fact.name!r} lacks foreign key "
             f"{constraint.fk_column!r}"
         )
-    row_of_code = _dimension_row_index(schema, name)
-    dim_rows = row_of_code[fact.codes(constraint.fk_column)]
-    if dim_rows.size and dim_rows.min() < 0:
-        raise SchemaError(
-            f"cannot join {name!r}: dangling foreign keys in {fact.name!r}"
-        )
+    dim_rows = resolve_dimension_rows(
+        schema, name, fact.codes(constraint.fk_column)
+    )
     result = fact
     for feature in schema.foreign_features(name):
         if feature in fact:

@@ -1,0 +1,184 @@
+"""Micro-batching: coalesce single-row requests into vectorized batches.
+
+Every predictor in :mod:`repro.ml` is vectorized over rows, so the cost
+of a predict call is dominated by per-call overhead (feature assembly,
+one-hot allocation, tree routing setup) amortised over the batch.  A
+:class:`MicroBatcher` exploits that: callers ``submit()`` individual
+rows and receive a :class:`PendingPrediction` handle; the batcher runs
+the underlying batch function once per *batch*, flushing when
+
+- the batch reaches ``max_batch_size`` rows (flushed inline), or
+- the oldest queued row has waited ``max_wait_s`` (checked on the next
+  ``submit``/``poll``), or
+- a caller forces it (``flush()``, or ``PendingPrediction.result()`` on
+  a still-queued row — so a result can always be claimed immediately).
+
+The design is deliberately synchronous and single-threaded: batching is
+a *throughput* device here, and keeping it free of locks makes the
+flush semantics exactly testable.  Results are delivered strictly in
+submission order.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class PendingPrediction:
+    """A handle to a submitted row's eventual prediction."""
+
+    __slots__ = ("_batcher", "_result", "_error", "_done")
+
+    def __init__(self, batcher: "MicroBatcher"):
+        self._batcher = batcher
+        self._result: Any = None
+        self._error: BaseException | None = None
+        self._done = False
+
+    def done(self) -> bool:
+        """Whether the prediction has been computed (or failed)."""
+        return self._done
+
+    def result(self) -> Any:
+        """The prediction, forcing a flush if the row is still queued.
+
+        If the batch call failed, every co-batched handle re-raises the
+        failure here — a lost prediction is never silently ``None``.
+        """
+        if not self._done:
+            self._batcher.flush(reason="forced")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _resolve(self, value: Any) -> None:
+        self._result = value
+        self._done = True
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done = True
+
+
+@dataclass
+class BatcherStats:
+    """Accounting for flush behaviour; exposed via server stats."""
+
+    submitted: int = 0
+    flushes: int = 0
+    rows_flushed: int = 0
+    flush_reasons: dict[str, int] = field(default_factory=dict)
+    max_batch: int = 0
+
+    @property
+    def mean_batch(self) -> float:
+        """Average rows per flushed batch (0.0 before any flush)."""
+        return self.rows_flushed / self.flushes if self.flushes else 0.0
+
+
+class MicroBatcher:
+    """Coalesces submitted rows and runs a batch function over them.
+
+    Parameters
+    ----------
+    batch_fn:
+        Called with the list of queued payloads; must return one result
+        per payload, in order.
+    max_batch_size:
+        Queue length that triggers an inline flush on ``submit``.
+    max_wait_s:
+        Maximum age of the oldest queued payload before the next
+        ``submit``/``poll`` flushes (0 degenerates to flushing on every
+        submit; ``None`` disables the deadline, leaving only the size
+        trigger and explicit flushes).
+    clock:
+        Injectable monotonic clock, for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        batch_fn: Callable[[Sequence[Any]], Sequence[Any]],
+        max_batch_size: int = 64,
+        max_wait_s: float | None = 0.005,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_s is not None and max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self.batch_fn = batch_fn
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self.clock = clock
+        self.stats = BatcherStats()
+        self._queue: list[tuple[Any, PendingPrediction]] = []
+        self._oldest: float | None = None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def submit(self, payload: Any) -> PendingPrediction:
+        """Queue one row; may flush inline if a trigger fires."""
+        pending = PendingPrediction(self)
+        self.stats.submitted += 1
+        if self._oldest is None:
+            self._oldest = self.clock()
+        self._queue.append((payload, pending))
+        if len(self._queue) >= self.max_batch_size:
+            self.flush(reason="size")
+        else:
+            self._flush_if_stale()
+        return pending
+
+    def poll(self) -> bool:
+        """Flush if the oldest queued row exceeded ``max_wait_s``.
+
+        Returns whether a flush happened.  Callers with idle periods
+        (e.g. a server loop between request bursts) call this to bound
+        queuing latency.
+        """
+        return self._flush_if_stale()
+
+    def _flush_if_stale(self) -> bool:
+        if (
+            self._queue
+            and self.max_wait_s is not None
+            and self._oldest is not None
+            and self.clock() - self._oldest >= self.max_wait_s
+        ):
+            self.flush(reason="deadline")
+            return True
+        return False
+
+    def flush(self, reason: str = "explicit") -> int:
+        """Run the batch function over everything queued; returns row count."""
+        if not self._queue:
+            return 0
+        batch, self._queue = self._queue, []
+        self._oldest = None
+        payloads = [payload for payload, _ in batch]
+        try:
+            results = self.batch_fn(payloads)
+            if len(results) != len(payloads):
+                raise ValueError(
+                    f"batch_fn returned {len(results)} results for "
+                    f"{len(payloads)} payloads"
+                )
+        except BaseException as error:
+            # The flush trigger's caller sees the raise; every co-batched
+            # handle records it so its result() re-raises too.
+            for _, pending in batch:
+                pending._fail(error)
+            raise
+        for (_, pending), result in zip(batch, results):
+            pending._resolve(result)
+        self.stats.flushes += 1
+        self.stats.rows_flushed += len(payloads)
+        self.stats.max_batch = max(self.stats.max_batch, len(payloads))
+        self.stats.flush_reasons[reason] = (
+            self.stats.flush_reasons.get(reason, 0) + 1
+        )
+        return len(payloads)

@@ -1,0 +1,160 @@
+"""Serving-throughput measurement: single-row vs micro-batched paths.
+
+The paper's Figure 1 argument is about *training* time; this module
+makes the serving-side counterpart measurable.  It fits one pipeline per
+strategy (JoinAll materialises every dimension's features at request
+time; NoJoin touches no dimension at all), then replays the same
+label-valued request stream through two paths:
+
+- **single** — one ``predict_one`` call per request row, paying the full
+  per-call overhead (encode, assemble, predict) every time;
+- **batched** — ``submit`` onto the micro-batcher, which coalesces rows
+  into vectorized predict calls.
+
+Used by ``repro serve-bench`` and ``benchmarks/bench_serving_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.strategies import (
+    JoinStrategy,
+    join_all_strategy,
+    no_join_strategy,
+)
+from repro.datasets.splits import SplitDataset
+from repro.serving.artifacts import artifact_from_pipeline
+from repro.serving.server import PredictionServer
+
+
+@dataclass
+class ThroughputReport:
+    """Rows/second per (strategy, path), plus the headline ratio."""
+
+    dataset: str
+    model_key: str
+    rows: int
+    batch_size: int
+    rates: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float | None:
+        """Micro-batched NoJoin throughput over single-row JoinAll.
+
+        ``None`` when the report was measured with custom strategies
+        that don't include both reference points.
+        """
+        batched = self.rates.get(("NoJoin", "batched"))
+        single = self.rates.get(("JoinAll", "single"))
+        if batched is None or single is None:
+            return None
+        return batched / single
+
+    def render(self) -> str:
+        """Human-readable table of the measured rates."""
+        lines = [
+            f"Serving throughput: {self.dataset}/{self.model_key}, "
+            f"{self.rows} requests, micro-batch size {self.batch_size}",
+            f"{'strategy':10s} {'path':8s} {'rows/s':>12s}",
+        ]
+        for (strategy, path), rate in sorted(self.rates.items()):
+            lines.append(f"{strategy:10s} {path:8s} {rate:12.0f}")
+        if self.speedup is not None:
+            lines.append(
+                f"micro-batched NoJoin vs single-row JoinAll: "
+                f"{self.speedup:.1f}x"
+            )
+        return "\n".join(lines)
+
+
+def _request_stream(
+    server: PredictionServer, dataset: SplitDataset, rows: int
+) -> list[dict]:
+    """Label-valued request rows cycled from the dataset's test split."""
+    fact = dataset.schema.fact
+    columns = server.features.required_columns
+    decoded = {c: fact.column(c).labels() for c in columns}
+    test = dataset.test
+    return [
+        {c: decoded[c][test[i % test.size]] for c in columns}
+        for i in range(rows)
+    ]
+
+
+def _measure(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+def serving_throughput(
+    dataset: SplitDataset,
+    model_key: str = "dt_gini",
+    rows: int = 2000,
+    batch_size: int = 64,
+    scale=None,
+    strategies: tuple[JoinStrategy, ...] | None = None,
+) -> ThroughputReport:
+    """Measure single-row and micro-batched serving rates per strategy.
+
+    Parameters
+    ----------
+    dataset:
+        The star-schema dataset to fit and serve against.
+    model_key:
+        Model registry key; the default gini tree is the paper's primary
+        model and has a cheap, serving-friendly predict path.
+    rows:
+        Request-stream length per measurement.
+    batch_size:
+        Micro-batcher ``max_batch_size`` for the batched path.
+    scale:
+        Training scale profile (resolved via ``REPRO_SCALE`` if omitted).
+    strategies:
+        Strategies to compare; defaults to (JoinAll, NoJoin).
+    """
+    from repro.experiments.runner import fit_pipeline
+
+    if strategies is None:
+        strategies = (join_all_strategy(), no_join_strategy())
+    report = ThroughputReport(
+        dataset=dataset.name, model_key=model_key, rows=rows, batch_size=batch_size
+    )
+    for strategy in strategies:
+        pipeline = fit_pipeline(dataset, model_key, strategy, scale=scale)
+        artifact = artifact_from_pipeline(pipeline, dataset.schema)
+
+        def fresh_server() -> PredictionServer:
+            return PredictionServer(
+                artifact,
+                dataset.schema,
+                max_batch_size=batch_size,
+                max_wait_s=None,
+            )
+
+        server = fresh_server()
+        requests = _request_stream(server, dataset, rows)
+        # Warm both paths once so compilation/caching effects don't skew
+        # the first strategy measured.
+        server.predict_one(requests[0])
+        server.submit(requests[0]).result()
+
+        single = fresh_server()
+        seconds = _measure(
+            lambda: [single.predict_one(row) for row in requests]
+        )
+        report.rates[(strategy.name, "single")] = rows / seconds
+
+        batched = fresh_server()
+
+        def run_batched(server: PredictionServer = batched) -> None:
+            handles = [server.submit(row) for row in requests]
+            server.flush()
+            for handle in handles:
+                handle.result()
+
+        seconds = _measure(run_batched)
+        report.rates[(strategy.name, "batched")] = rows / seconds
+    return report

@@ -1,0 +1,287 @@
+"""Serving-time feature assembly with cached dimension indexes.
+
+Offline, a strategy materialises its features by re-running the KFK
+join over the whole fact table (:meth:`JoinStrategy.matrices`).  Online,
+that is the wrong shape of work: each request brings a handful of fact
+rows, and re-joining per request would rebuild the code→row hash table
+of every dimension every time.  :class:`FeatureService` precomputes each
+joined dimension's row index (:func:`repro.relational.join.dimension_row_index`)
+and its foreign-feature code columns once, keeps them in an LRU cache,
+and assembles a request's :class:`CategoricalMatrix` with O(1) numpy
+gathers per dimension.
+
+Dimensions the loaded strategy avoids are never touched — the serving
+path realises the paper's payoff directly: a NoJoin model needs *no*
+dimension access at all to serve predictions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.strategies import JoinStrategy
+from repro.errors import SchemaError
+from repro.ml.encoding import CategoricalMatrix
+from repro.relational.join import dimension_row_index, resolve_dimension_rows
+from repro.relational.schema import StarSchema
+from repro.relational.table import Table
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting for the dimension-index cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total cache lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none yet)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"cache: {self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.1%}), {self.evictions} evictions"
+        )
+
+
+@dataclass
+class _DimensionIndex:
+    """Precomputed lookup state for one joined dimension."""
+
+    row_of_code: np.ndarray
+    feature_codes: dict[str, np.ndarray]
+
+
+class DimensionIndexCache:
+    """An LRU cache of per-dimension join indexes.
+
+    Capacity is bounded so a server fronting a schema with many (or
+    large) dimensions can cap resident index memory; entries rebuild
+    transparently on re-access.  With the default capacity of 8 every
+    dimension of the paper's seven datasets stays resident and the cache
+    degenerates to "compute once".
+    """
+
+    def __init__(self, schema: StarSchema, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.schema = schema
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, _DimensionIndex] = OrderedDict()
+
+    def get(self, name: str) -> _DimensionIndex:
+        """Fetch (building if needed) the index state of dimension ``name``."""
+        entry = self._entries.get(name)
+        if entry is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(name)
+            return entry
+        self.stats.misses += 1
+        dim = self.schema.dimension(name)
+        entry = _DimensionIndex(
+            row_of_code=dimension_row_index(self.schema, name),
+            feature_codes={
+                feature: dim.column(feature).codes
+                for feature in self.schema.foreign_features(name)
+            },
+        )
+        self._entries[name] = entry
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class FeatureService:
+    """Assembles serving-time feature matrices for one (schema, strategy).
+
+    Parameters
+    ----------
+    schema:
+        The live star schema (fact domains + dimension tables).
+    strategy:
+        The join strategy of the model being served; avoided dimensions
+        are skipped entirely, joined ones are resolved through the
+        :class:`DimensionIndexCache`.
+    cache_capacity:
+        Maximum dimension indexes kept resident (default 8).
+    """
+
+    def __init__(
+        self,
+        schema: StarSchema,
+        strategy: JoinStrategy,
+        cache_capacity: int = 8,
+    ):
+        self.schema = schema
+        self.strategy = strategy
+        self.cache = DimensionIndexCache(schema, capacity=cache_capacity)
+        self.feature_names: tuple[str, ...] = tuple(strategy.feature_names(schema))
+        self.joined_dimensions: tuple[str, ...] = tuple(
+            strategy.joined_dimensions(schema)
+        )
+        # Each feature is either a fact column (home feature or usable FK)
+        # or a foreign feature gathered through (dimension, fk_column).
+        self._foreign_of: dict[str, tuple[str, str]] = {}
+        for name in self.joined_dimensions:
+            fk = schema.constraint(name).fk_column
+            for feature in schema.foreign_features(name):
+                self._foreign_of[feature] = (name, fk)
+        self._fact_features = [
+            f for f in self.feature_names if f not in self._foreign_of
+        ]
+        for feature in self._fact_features:
+            if feature not in schema.fact:
+                raise SchemaError(
+                    f"strategy feature {feature!r} is neither a fact column "
+                    f"nor a foreign feature of a joined dimension"
+                )
+        needed = list(self._fact_features)
+        for name in self.joined_dimensions:
+            fk = schema.constraint(name).fk_column
+            if fk not in needed:
+                needed.append(fk)
+        self._required_columns: tuple[str, ...] = tuple(needed)
+
+    @property
+    def required_columns(self) -> tuple[str, ...]:
+        """Fact columns a prediction request must provide.
+
+        Home features and usable FKs that are themselves features, plus
+        the FK of every joined dimension (needed for the gather even when
+        the FK is not a feature, e.g. under NoFK).  Fixed for the
+        service's lifetime, so it is precomputed off the request path.
+        """
+        return self._required_columns
+
+    # ------------------------------------------------------------------
+    # Request encoding
+    # ------------------------------------------------------------------
+    def encode_requests(
+        self, rows: Sequence[Mapping[str, object]]
+    ) -> dict[str, np.ndarray]:
+        """Encode label-valued request rows into per-column code vectors.
+
+        Each row maps fact column names to raw labels; labels are encoded
+        through the fact table's closed domains, so an out-of-domain
+        value raises :class:`SchemaError` exactly as the paper's closed
+        -domain assumption dictates.
+        """
+        if not rows:
+            raise ValueError("cannot encode an empty request batch")
+        encoded: dict[str, np.ndarray] = {}
+        for column in self._required_columns:
+            domain = self.schema.fact.domain(column)
+            try:
+                values = [row[column] for row in rows]
+            except KeyError:
+                raise SchemaError(
+                    f"prediction request lacks fact column {column!r}; "
+                    f"required: {list(self._required_columns)}"
+                ) from None
+            encoded[column] = domain.encode(values)
+        return encoded
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def assemble(self, fact_codes: Mapping[str, np.ndarray]) -> CategoricalMatrix:
+        """Assemble the feature matrix for pre-encoded request columns.
+
+        ``fact_codes`` maps each :attr:`required_columns` entry to an
+        ``(n,)`` int code vector.  Foreign features are gathered from the
+        cached dimension indexes; a foreign key with no dimension row
+        raises :class:`repro.errors.ReferentialIntegrityError` loudly
+        rather than gathering garbage.
+        """
+        n = None
+        for column, codes in fact_codes.items():
+            codes = np.asarray(codes)
+            if n is None:
+                n = codes.shape[0]
+            elif codes.shape[0] != n:
+                raise SchemaError(
+                    f"ragged request batch: column {column!r} has "
+                    f"{codes.shape[0]} rows, expected {n}"
+                )
+        if n is None:
+            raise ValueError("cannot assemble an empty request batch")
+
+        # One cache lookup and one FK resolution per dimension per batch,
+        # however many of its foreign features the strategy keeps.
+        entries: dict[str, _DimensionIndex] = {}
+        dim_rows: dict[str, np.ndarray] = {}
+        columns: list[np.ndarray] = []
+        levels: list[int] = []
+        for feature in self.feature_names:
+            owner = self._foreign_of.get(feature)
+            if owner is None:
+                try:
+                    codes = np.asarray(fact_codes[feature], dtype=np.int64)
+                except KeyError:
+                    raise SchemaError(
+                        f"request batch lacks fact column {feature!r}"
+                    ) from None
+                levels.append(len(self.schema.fact.domain(feature)))
+            else:
+                name, fk = owner
+                if name not in entries:
+                    entries[name] = self.cache.get(name)
+                    try:
+                        fk_codes = np.asarray(fact_codes[fk], dtype=np.int64)
+                    except KeyError:
+                        raise SchemaError(
+                            f"request batch lacks foreign key {fk!r} needed "
+                            f"to resolve dimension {name!r}"
+                        ) from None
+                    dim_rows[name] = resolve_dimension_rows(
+                        self.schema,
+                        name,
+                        fk_codes,
+                        row_of_code=entries[name].row_of_code,
+                    )
+                codes = entries[name].feature_codes[feature][dim_rows[name]]
+                levels.append(
+                    len(self.schema.dimension(name).domain(feature))
+                )
+            columns.append(codes)
+        if not columns:
+            return CategoricalMatrix.empty(n)
+        return CategoricalMatrix(
+            np.stack(columns, axis=1), levels, self.feature_names
+        )
+
+    def assemble_table(self, fact_rows: Table) -> CategoricalMatrix:
+        """Assemble features for rows shaped like the fact table."""
+        return self.assemble(
+            {column: fact_rows.codes(column) for column in self.required_columns}
+        )
+
+    def assemble_rows(
+        self, rows: Sequence[Mapping[str, object]]
+    ) -> CategoricalMatrix:
+        """Encode label-valued request rows and assemble their features."""
+        return self.assemble(self.encode_requests(rows))
+
+    def __repr__(self) -> str:
+        return (
+            f"FeatureService(strategy={self.strategy.name!r}, "
+            f"{len(self.feature_names)} features, "
+            f"joined={list(self.joined_dimensions)}, {self.cache.stats})"
+        )

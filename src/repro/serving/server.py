@@ -1,0 +1,215 @@
+"""The in-process prediction server facade.
+
+:class:`PredictionServer` ties the serving subsystem together: it loads
+a :class:`~repro.serving.artifacts.ModelArtifact` against a live star
+schema (verifying the schema fingerprint), builds a
+:class:`~repro.serving.feature_service.FeatureService` for the
+artifact's strategy, and exposes three serving styles:
+
+- ``predict_one(row)`` — the low-latency single-row path,
+- ``predict_batch(rows)`` — a caller-assembled batch,
+- ``submit(row)`` — the high-throughput micro-batched path, returning a
+  :class:`~repro.serving.batcher.PendingPrediction`.
+
+Requests are plain ``{fact column: label}`` mappings — the shape a fact
+row has *before* any join, which is the whole point: under a NoJoin
+artifact the server answers without touching a single dimension table.
+Request counters and latency accounting are kept per server and
+surfaced via :meth:`PredictionServer.stats`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.relational.schema import StarSchema
+from repro.relational.table import Table
+from repro.serving.artifacts import ModelArtifact
+from repro.serving.batcher import MicroBatcher, PendingPrediction
+from repro.serving.feature_service import FeatureService
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """A point-in-time snapshot of a server's counters."""
+
+    requests: int
+    rows: int
+    predict_calls: int
+    assemble_seconds: float
+    predict_seconds: float
+    batches_flushed: int
+    mean_batch_rows: float
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean end-to-end model-side latency per predict call, in ms."""
+        if not self.predict_calls:
+            return 0.0
+        total = self.assemble_seconds + self.predict_seconds
+        return 1000.0 * total / self.predict_calls
+
+    def __str__(self) -> str:
+        return (
+            f"requests={self.requests} rows={self.rows} "
+            f"predict_calls={self.predict_calls} "
+            f"mean_latency={self.mean_latency_ms:.3f}ms "
+            f"mean_batch={self.mean_batch_rows:.1f} "
+            f"cache_hit_rate={self.cache_hit_rate:.1%}"
+        )
+
+
+class PredictionServer:
+    """Serve predictions from a loaded model artifact.
+
+    Parameters
+    ----------
+    artifact:
+        A loaded :class:`ModelArtifact`.
+    schema:
+        The live star schema to serve against.  Its fingerprint must
+        match the artifact's training schema unless
+        ``validate_fingerprint=False``.  Fingerprints cover structure
+        and closed domains only — dimension *rows* may change freely —
+        so disabling the check is rarely the right fix.
+    cache_capacity:
+        Dimension-index cache capacity of the feature service.
+    max_batch_size, max_wait_s:
+        Micro-batcher configuration for the ``submit`` path.
+    """
+
+    def __init__(
+        self,
+        artifact: ModelArtifact,
+        schema: StarSchema,
+        cache_capacity: int = 8,
+        max_batch_size: int = 64,
+        max_wait_s: float | None = 0.005,
+        validate_fingerprint: bool = True,
+    ):
+        if validate_fingerprint:
+            artifact.check_schema(schema)
+        self.artifact = artifact
+        self.schema = schema
+        self.features = FeatureService(
+            schema, artifact.strategy, cache_capacity=cache_capacity
+        )
+        if self.features.feature_names != artifact.feature_names:
+            raise SchemaError(
+                f"strategy replay produced features "
+                f"{list(self.features.feature_names)} but the artifact was "
+                f"trained on {list(artifact.feature_names)}"
+            )
+        self.batcher = MicroBatcher(
+            self._predict_encoded,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+        )
+        self._requests = 0
+        self._rows = 0
+        self._predict_calls = 0
+        self._assemble_seconds = 0.0
+        self._predict_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Prediction paths
+    # ------------------------------------------------------------------
+    def predict_one(self, row: Mapping[str, object]) -> object:
+        """Predict a single request row immediately (low-latency path)."""
+        self._requests += 1
+        return self._predict_encoded([self.features.encode_requests([row])])[0]
+
+    def predict_batch(self, rows: Sequence[Mapping[str, object]]) -> list:
+        """Predict a caller-assembled batch of request rows."""
+        if not rows:
+            return []
+        self._requests += 1
+        return self._predict_encoded([self.features.encode_requests(rows)])
+
+    def predict_table(self, fact_rows: Table) -> list:
+        """Predict for pre-encoded rows shaped like the fact table."""
+        self._requests += 1
+        codes = {
+            column: fact_rows.codes(column)
+            for column in self.features.required_columns
+        }
+        return self._predict_encoded([codes])
+
+    def submit(self, row: Mapping[str, object]) -> PendingPrediction:
+        """Queue one row on the micro-batcher (high-throughput path)."""
+        self._requests += 1
+        return self.batcher.submit(self.features.encode_requests([row]))
+
+    def flush(self) -> int:
+        """Force the micro-batcher to drain; returns rows flushed."""
+        return self.batcher.flush()
+
+    def poll(self) -> bool:
+        """Flush the micro-batcher if its wait deadline expired."""
+        return self.batcher.poll()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _predict_encoded(
+        self, payloads: Sequence[Mapping[str, np.ndarray]]
+    ) -> list:
+        """Assemble and predict a batch of encoded column-dicts.
+
+        Payloads are concatenated into one matrix, predicted in a single
+        vectorized call, and the decoded labels split back per payload
+        row — this is the function the micro-batcher amortises.
+        """
+        if len(payloads) == 1:
+            merged = payloads[0]
+        else:
+            merged = {
+                column: np.concatenate(
+                    [np.asarray(p[column]) for p in payloads]
+                )
+                for column in self.features.required_columns
+            }
+        started = time.perf_counter()
+        X = self.features.assemble(merged)
+        assembled = time.perf_counter()
+        codes = self.artifact.predict_codes(X)
+        finished = time.perf_counter()
+        self._assemble_seconds += assembled - started
+        self._predict_seconds += finished - assembled
+        self._predict_calls += 1
+        self._rows += X.n_rows
+        return self.artifact.decode_labels(codes)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> ServerStats:
+        """Snapshot request counters, latency and cache accounting."""
+        cache = self.features.cache.stats
+        batcher = self.batcher.stats
+        return ServerStats(
+            requests=self._requests,
+            rows=self._rows,
+            predict_calls=self._predict_calls,
+            assemble_seconds=self._assemble_seconds,
+            predict_seconds=self._predict_seconds,
+            batches_flushed=batcher.flushes,
+            mean_batch_rows=batcher.mean_batch,
+            cache_hits=cache.hits,
+            cache_misses=cache.misses,
+            cache_hit_rate=cache.hit_rate,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PredictionServer({self.artifact.summary()}, "
+            f"{self.stats()})"
+        )

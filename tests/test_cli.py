@@ -33,6 +33,29 @@ class TestParser:
         assert args.n_r == [2, 8]
         assert args.csv
 
+    def test_save_model_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["save-model", "yelp", "dt_gini"])
+
+    def test_save_model_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "save-model", "yelp", "dt_gini",
+                "--strategy", "Advised", "--scale", "smoke",
+                "--out", "model.repro-model",
+            ]
+        )
+        assert args.strategy == "Advised"
+        assert args.out == "model.repro-model"
+
+    def test_serve_bench_arguments(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "movies", "--rows", "500", "--batch-size", "16"]
+        )
+        assert args.model == "dt_gini"
+        assert args.rows == 500
+        assert args.batch_size == 16
+
 
 class TestCommands:
     def test_advise_prints_report(self, capsys):
@@ -77,3 +100,42 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "foreign-key splits" in out
+
+    def test_save_model_then_predict_round_trip(self, capsys, tmp_path):
+        path = tmp_path / "yelp.repro-model"
+        code = main(
+            [
+                "save-model", "yelp", "dt_gini",
+                "--scale", "smoke", "--out", str(path),
+            ]
+        )
+        assert code == 0
+        assert path.exists()
+        assert "saved ModelArtifact" in capsys.readouterr().out
+
+        code = main(["predict", str(path), "--rows", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "predicted=" in out
+        assert "accuracy" in out
+
+    def test_save_model_advised_strategy(self, capsys, tmp_path):
+        path = tmp_path / "advised.repro-model"
+        code = main(
+            [
+                "save-model", "yelp", "dt_gini",
+                "--strategy", "Advised", "--scale", "smoke",
+                "--out", str(path),
+            ]
+        )
+        assert code == 0
+        assert path.exists()
+
+    def test_serve_bench_prints_ratio(self, capsys):
+        code = main(
+            ["serve-bench", "yelp", "--scale", "smoke", "--rows", "120"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Serving throughput" in out
+        assert "micro-batched NoJoin vs single-row JoinAll" in out

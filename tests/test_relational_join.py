@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import SchemaError
+from repro.errors import ReferentialIntegrityError, SchemaError
 from repro.relational import (
     CategoricalColumn,
     Domain,
@@ -11,10 +11,12 @@ from repro.relational import (
     StarSchema,
     Table,
     audit_star_schema,
+    dimension_row_index,
     holds_functional_dependency,
     join_all,
     join_subset,
     kfk_join,
+    resolve_dimension_rows,
 )
 
 
@@ -73,6 +75,65 @@ class TestKfkJoin:
         )
         with pytest.raises(SchemaError, match="already exists"):
             kfk_join(schema, "Employers")
+
+
+def _dangling_schema(customers, employer_domain):
+    """Employers is missing the 'umbrella' row the fact table references."""
+    state = Domain(["CA", "NY", "WI"])
+    dim = Table(
+        "Employers",
+        [
+            CategoricalColumn("Employer", employer_domain, [0, 1, 2]),
+            CategoricalColumn("State", state, [0, 1, 0]),
+        ],
+    )
+    return StarSchema(
+        fact=customers,
+        target="Churn",
+        dimensions=[(dim, KFKConstraint("Employer", "Employers", "Employer"))],
+        validate=False,
+    )
+
+
+class TestDanglingForeignKeys:
+    def test_kfk_join_raises_naming_the_dangling_labels(
+        self, customers, employer_domain
+    ):
+        schema = _dangling_schema(customers, employer_domain)
+        with pytest.raises(ReferentialIntegrityError, match="umbrella"):
+            kfk_join(schema, "Employers")
+
+    def test_error_is_a_schema_error(self, customers, employer_domain):
+        schema = _dangling_schema(customers, employer_domain)
+        with pytest.raises(SchemaError, match="no dimension row"):
+            kfk_join(schema, "Employers")
+
+    def test_resolve_dimension_rows_gathers_positions(self, churn_schema):
+        rows = resolve_dimension_rows(
+            churn_schema, "Employers", np.array([3, 0, 2])
+        )
+        np.testing.assert_array_equal(rows, [3, 0, 2])
+
+    def test_resolve_rejects_codes_outside_key_domain(self, churn_schema):
+        with pytest.raises(ReferentialIntegrityError, match="outside the key"):
+            resolve_dimension_rows(churn_schema, "Employers", np.array([-1]))
+        with pytest.raises(ReferentialIntegrityError, match="outside the key"):
+            resolve_dimension_rows(churn_schema, "Employers", np.array([99]))
+
+    def test_resolve_reports_violation_count(self, customers, employer_domain):
+        schema = _dangling_schema(customers, employer_domain)
+        with pytest.raises(ReferentialIntegrityError, match="1 foreign-key"):
+            resolve_dimension_rows(
+                schema, "Employers", schema.fact.codes("Employer")
+            )
+
+    def test_dimension_row_index_marks_missing_codes(
+        self, customers, employer_domain
+    ):
+        schema = _dangling_schema(customers, employer_domain)
+        index = dimension_row_index(schema, "Employers")
+        assert index[3] == -1
+        np.testing.assert_array_equal(index[:3], [0, 1, 2])
 
 
 class TestJoinSubset:

@@ -1,0 +1,158 @@
+"""Micro-batcher flush semantics, ordering, and accounting."""
+
+import pytest
+
+from repro.serving import MicroBatcher
+
+
+def doubling_batch_fn(payloads):
+    return [p * 2 for p in payloads]
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestSizeTrigger:
+    def test_flushes_exactly_at_max_batch_size(self):
+        batcher = MicroBatcher(
+            doubling_batch_fn, max_batch_size=4, max_wait_s=None
+        )
+        handles = [batcher.submit(i) for i in range(3)]
+        assert not any(h.done() for h in handles)
+        handles.append(batcher.submit(3))
+        assert all(h.done() for h in handles)
+        assert batcher.stats.flush_reasons == {"size": 1}
+        assert len(batcher) == 0
+
+    def test_results_delivered_in_submission_order(self):
+        batcher = MicroBatcher(
+            doubling_batch_fn, max_batch_size=8, max_wait_s=None
+        )
+        handles = [batcher.submit(i) for i in range(8)]
+        assert [h.result() for h in handles] == [2 * i for i in range(8)]
+
+
+class TestDeadlineTrigger:
+    def test_stale_queue_flushes_on_next_submit(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(
+            doubling_batch_fn, max_batch_size=100, max_wait_s=1.0, clock=clock
+        )
+        first = batcher.submit(1)
+        clock.advance(0.5)
+        second = batcher.submit(2)
+        assert not first.done() and not second.done()
+        clock.advance(0.6)  # oldest is now 1.1s old
+        third = batcher.submit(3)
+        assert first.done() and second.done() and third.done()
+        assert batcher.stats.flush_reasons == {"deadline": 1}
+
+    def test_poll_flushes_stale_queue(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(
+            doubling_batch_fn, max_batch_size=100, max_wait_s=1.0, clock=clock
+        )
+        pending = batcher.submit(5)
+        assert batcher.poll() is False
+        clock.advance(2.0)
+        assert batcher.poll() is True
+        assert pending.result() == 10
+
+    def test_no_deadline_when_disabled(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(
+            doubling_batch_fn, max_batch_size=100, max_wait_s=None, clock=clock
+        )
+        pending = batcher.submit(1)
+        clock.advance(1e9)
+        assert batcher.poll() is False
+        assert not pending.done()
+
+    def test_zero_wait_degenerates_to_per_row_flushes(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(
+            doubling_batch_fn, max_batch_size=100, max_wait_s=0.0, clock=clock
+        )
+        assert batcher.submit(1).done()
+        assert batcher.submit(2).done()
+        assert batcher.stats.flushes == 2
+
+
+class TestForcedFlush:
+    def test_result_forces_flush(self):
+        batcher = MicroBatcher(
+            doubling_batch_fn, max_batch_size=100, max_wait_s=None
+        )
+        a = batcher.submit(1)
+        b = batcher.submit(2)
+        assert a.result() == 2  # forces the whole queue
+        assert b.done() and b.result() == 4
+        assert batcher.stats.flush_reasons == {"forced": 1}
+
+    def test_explicit_flush_and_empty_flush(self):
+        batcher = MicroBatcher(
+            doubling_batch_fn, max_batch_size=100, max_wait_s=None
+        )
+        batcher.submit(1)
+        batcher.submit(2)
+        assert batcher.flush() == 2
+        assert batcher.flush() == 0
+        assert batcher.stats.flushes == 1
+
+
+class TestAccounting:
+    def test_stats_track_batch_sizes(self):
+        batcher = MicroBatcher(
+            doubling_batch_fn, max_batch_size=3, max_wait_s=None
+        )
+        for i in range(7):
+            batcher.submit(i)
+        batcher.flush()
+        stats = batcher.stats
+        assert stats.submitted == 7
+        assert stats.rows_flushed == 7
+        assert stats.flushes == 3  # 3 + 3 + 1
+        assert stats.max_batch == 3
+        assert stats.mean_batch == pytest.approx(7 / 3)
+        assert stats.flush_reasons == {"size": 2, "explicit": 1}
+
+
+class TestValidation:
+    def test_bad_batch_fn_arity_detected(self):
+        batcher = MicroBatcher(
+            lambda payloads: [1], max_batch_size=2, max_wait_s=None
+        )
+        batcher.submit("a")
+        with pytest.raises(ValueError, match="returned 1 results for 2"):
+            batcher.submit("b")  # size trigger flushes inline
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            MicroBatcher(doubling_batch_fn, max_batch_size=0)
+        with pytest.raises(ValueError, match="max_wait_s"):
+            MicroBatcher(doubling_batch_fn, max_wait_s=-1.0)
+
+    def test_failed_batch_propagates_to_every_handle(self):
+        """A poison batch must not silently drop co-batched predictions."""
+
+        def poisoned(payloads):
+            raise RuntimeError("poison row")
+
+        batcher = MicroBatcher(poisoned, max_batch_size=2, max_wait_s=None)
+        first = batcher.submit(1)
+        with pytest.raises(RuntimeError, match="poison row"):
+            batcher.submit(2)  # size trigger flushes inline and raises
+        assert first.done()
+        with pytest.raises(RuntimeError, match="poison row"):
+            first.result()
+        assert len(batcher) == 0  # failed rows are not re-queued

@@ -1,0 +1,174 @@
+"""Feature-service assembly, cache accounting, and loud RI failures."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    join_all_strategy,
+    no_fk_strategy,
+    no_join_strategy,
+)
+from repro.errors import ReferentialIntegrityError, SchemaError
+from repro.ml.encoding import CategoricalMatrix
+from repro.relational import (
+    CategoricalColumn,
+    Domain,
+    KFKConstraint,
+    StarSchema,
+    Table,
+    join_all,
+)
+from repro.serving import DimensionIndexCache, FeatureService
+
+
+class TestAssembly:
+    def test_joinall_matches_offline_join(self, churn_schema):
+        """Serving-time gathers reproduce the materialised join exactly."""
+        strategy = join_all_strategy()
+        service = FeatureService(churn_schema, strategy)
+        offline = CategoricalMatrix.from_table(
+            join_all(churn_schema), strategy.feature_names(churn_schema)
+        )
+        online = service.assemble_table(churn_schema.fact)
+        np.testing.assert_array_equal(online.codes, offline.codes)
+        assert online.names == offline.names
+        assert online.n_levels == offline.n_levels
+
+    def test_nofk_requires_fk_for_gather_but_not_as_feature(self, churn_schema):
+        service = FeatureService(churn_schema, no_fk_strategy())
+        assert "Employer" not in service.feature_names
+        assert "Employer" in service.required_columns
+        online = service.assemble_table(churn_schema.fact)
+        assert "State" in online.names and "Revenue" in online.names
+
+    def test_nojoin_never_touches_dimensions(self, churn_schema):
+        service = FeatureService(churn_schema, no_join_strategy())
+        service.assemble_table(churn_schema.fact)
+        service.assemble_table(churn_schema.fact)
+        assert service.cache.stats.lookups == 0
+        assert service.joined_dimensions == ()
+
+    def test_missing_required_column_raises(self, churn_schema):
+        service = FeatureService(churn_schema, join_all_strategy())
+        with pytest.raises(SchemaError, match="lacks"):
+            service.assemble({"Gender": np.array([0]), "Age": np.array([1])})
+
+    def test_ragged_batch_raises(self, churn_schema):
+        service = FeatureService(churn_schema, no_join_strategy())
+        with pytest.raises(SchemaError, match="ragged"):
+            service.assemble(
+                {
+                    "Gender": np.array([0, 1]),
+                    "Age": np.array([1]),
+                    "Employer": np.array([0, 1]),
+                }
+            )
+
+
+class TestRequestEncoding:
+    def test_label_rows_encode_through_fact_domains(self, churn_schema):
+        service = FeatureService(churn_schema, join_all_strategy())
+        X = service.assemble_rows(
+            [{"Gender": "F", "Age": "old", "Employer": "initech"}]
+        )
+        j = X.names.index("State")
+        # initech is row 2 of Employers, whose State code is 0 ("CA").
+        assert X.codes[0, j] == 0
+
+    def test_out_of_domain_label_raises(self, churn_schema):
+        service = FeatureService(churn_schema, join_all_strategy())
+        with pytest.raises(SchemaError, match="closed domain"):
+            service.encode_requests(
+                [{"Gender": "F", "Age": "old", "Employer": "hooli"}]
+            )
+
+    def test_missing_column_in_request_raises(self, churn_schema):
+        service = FeatureService(churn_schema, join_all_strategy())
+        with pytest.raises(SchemaError, match="lacks fact column"):
+            service.encode_requests([{"Gender": "F"}])
+
+    def test_empty_batch_rejected(self, churn_schema):
+        service = FeatureService(churn_schema, join_all_strategy())
+        with pytest.raises(ValueError, match="empty"):
+            service.encode_requests([])
+
+
+class TestCacheAccounting:
+    def test_hits_and_misses(self, churn_schema):
+        service = FeatureService(churn_schema, join_all_strategy())
+        service.assemble_table(churn_schema.fact)
+        stats = service.cache.stats
+        assert stats.misses == 1 and stats.hits == 0
+        service.assemble_table(churn_schema.fact)
+        service.assemble_table(churn_schema.fact)
+        assert stats.misses == 1 and stats.hits == 2
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_lru_eviction(self):
+        dataset_schema = _two_dimension_schema()
+        cache = DimensionIndexCache(dataset_schema, capacity=1)
+        cache.get("D1")
+        cache.get("D2")  # evicts D1
+        cache.get("D1")  # rebuild
+        assert cache.stats.misses == 3
+        assert cache.stats.evictions == 2
+        assert len(cache) == 1
+
+    def test_capacity_must_be_positive(self, churn_schema):
+        with pytest.raises(ValueError, match="capacity"):
+            DimensionIndexCache(churn_schema, capacity=0)
+
+
+def _two_dimension_schema(dangling: bool = False) -> StarSchema:
+    """A tiny two-dimension star; optionally with a dangling FK."""
+    d1_key = Domain.of_size(3, prefix="a")
+    d2_key = Domain.of_size(3, prefix="b")
+    flag = Domain.boolean()
+    d1 = Table(
+        "D1",
+        [
+            CategoricalColumn("A", d1_key, [0, 1, 2]),
+            CategoricalColumn("A_f", flag, [0, 1, 0]),
+        ],
+    )
+    # When dangling, D2 lacks a row for key code 2 although the fact
+    # references it — a referential-integrity violation.
+    d2_rows = [0, 1] if dangling else [0, 1, 2]
+    d2 = Table(
+        "D2",
+        [
+            CategoricalColumn("B", d2_key, d2_rows),
+            CategoricalColumn("B_f", flag, [1] * len(d2_rows)),
+        ],
+    )
+    fact = Table(
+        "F",
+        [
+            CategoricalColumn("Y", flag, [0, 1, 0]),
+            CategoricalColumn("A", d1_key, [0, 1, 2]),
+            CategoricalColumn("B", d2_key, [0, 1, 2]),
+        ],
+    )
+    return StarSchema(
+        fact=fact,
+        target="Y",
+        dimensions=[
+            (d1, KFKConstraint("A", "D1", "A")),
+            (d2, KFKConstraint("B", "D2", "B")),
+        ],
+        validate=False,
+    )
+
+
+class TestReferentialIntegrity:
+    def test_dangling_fk_fails_loudly_with_labels(self):
+        schema = _two_dimension_schema(dangling=True)
+        service = FeatureService(schema, join_all_strategy())
+        with pytest.raises(ReferentialIntegrityError, match="b2"):
+            service.assemble_table(schema.fact)
+
+    def test_valid_fks_resolve(self):
+        schema = _two_dimension_schema(dangling=False)
+        service = FeatureService(schema, join_all_strategy())
+        X = service.assemble_table(schema.fact)
+        assert X.n_rows == 3
