@@ -24,12 +24,16 @@ split drives :class:`~repro.ml.selection.GridSearch` and
 unified bias-variance decomposition used for the net-variance plots.
 
 All estimators consume a :class:`~repro.ml.encoding.CategoricalMatrix`
-(integer-coded categorical features with closed domains); numeric models
-one-hot encode internally.
+(integer-coded categorical features with closed domains).  Numeric
+models one-hot encode internally through the implicit execution engine
+(:mod:`repro.ml.sparse`): gathers, scatter-adds and code-equality counts
+stand in for every product against the one-hot matrix, which is never
+materialised unless a model is given ``engine="dense"``.
 """
 
 from repro.ml.base import Estimator, check_fitted
 from repro.ml.encoding import CategoricalMatrix, one_hot
+from repro.ml.sparse import OneHotMatrix
 from repro.ml.linear import L1LogisticRegression
 from repro.ml.metrics import accuracy, confusion_counts, zero_one_error
 from repro.ml.naive_bayes import CategoricalNB
@@ -52,6 +56,7 @@ __all__ = [
     "KernelSVC",
     "L1LogisticRegression",
     "MLPClassifier",
+    "OneHotMatrix",
     "accuracy",
     "binarize_ordinal",
     "check_fitted",

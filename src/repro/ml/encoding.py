@@ -3,8 +3,27 @@
 Every learner in :mod:`repro.ml` consumes a :class:`CategoricalMatrix`:
 an ``(n, d)`` array of integer codes plus the closed domain size of each
 feature.  Tree and Naive Bayes models operate on codes directly; numeric
-models (SVM, MLP, logistic regression, k-NN) call :meth:`CategoricalMatrix.onehot`
-to obtain the standard one-hot encoding the paper uses for such models.
+models (SVM, MLP, logistic regression, k-NN) use the one-hot encoding
+the paper prescribes for such models, through one of two execution
+paths:
+
+- **Implicit (default for all numeric models)** —
+  :meth:`CategoricalMatrix.onehot_view` wraps the codes in a
+  :class:`repro.ml.sparse.OneHotMatrix`, which answers every product,
+  gradient, Gram block and distance the models need with per-feature
+  gathers and scatter-adds over the codes.  The dense ``(n, Σ levels)``
+  matrix is never allocated, so cost scales with ``n × d`` instead of
+  ``n × Σ levels`` — the difference between feasible and infeasible for
+  foreign keys with domains in the thousands to millions.
+- **Dense (fallback)** — :meth:`CategoricalMatrix.onehot` materialises
+  the full float64 one-hot matrix.  Kept as the reference
+  implementation: models accept ``engine="dense"``, tests assert the
+  two paths agree to 1e-10, and small-domain callers that genuinely
+  want an array (e.g. ad-hoc analysis) can still get one.
+
+Choose dense only when the encoded width is small or an external
+consumer needs a real ``np.ndarray``; everything inside :mod:`repro.ml`
+defaults to the implicit path.
 """
 
 from __future__ import annotations
@@ -17,13 +36,33 @@ from repro.errors import SchemaError
 from repro.relational.table import Table
 
 
+def check_code_ranges(
+    codes: np.ndarray, n_levels: Sequence[int], names: Sequence[str]
+) -> None:
+    """Validate every column of ``codes`` against its closed domain.
+
+    A single vectorised ``min(axis=0)``/``max(axis=0)`` pass over the
+    whole matrix, rather than a Python loop over columns — the check
+    runs on every matrix construction, including the serving hot path.
+    """
+    if codes.shape[0] == 0 or codes.shape[1] == 0:
+        return
+    mins = codes.min(axis=0)
+    maxs = codes.max(axis=0)
+    bad = np.flatnonzero((mins < 0) | (maxs >= np.asarray(n_levels, dtype=np.int64)))
+    if bad.size:
+        j = int(bad[0])
+        raise SchemaError(
+            f"feature {names[j]!r}: codes out of range for {n_levels[j]} levels"
+        )
+
+
 def one_hot(codes: np.ndarray, n_levels: int) -> np.ndarray:
     """One-hot encode a 1-D code vector into an ``(n, n_levels)`` float matrix."""
     codes = np.asarray(codes, dtype=np.int64)
     if codes.ndim != 1:
         raise SchemaError(f"codes must be 1-D, got {codes.ndim}-D")
-    if codes.size and (codes.min() < 0 or codes.max() >= n_levels):
-        raise SchemaError(f"codes out of range for {n_levels} levels")
+    check_code_ranges(codes[:, np.newaxis], (n_levels,), ("codes",))
     out = np.zeros((codes.shape[0], n_levels), dtype=np.float64)
     out[np.arange(codes.shape[0]), codes] = 1.0
     return out
@@ -42,6 +81,11 @@ class CategoricalMatrix:
         not all occur in the data).
     names:
         Feature names, parallel to columns.
+    validate:
+        Whether to range-check the codes against the domains.  Callers
+        that hand over codes already validated against the same closed
+        domains (row slices of a validated matrix, serving-time gathers
+        from validated tables) pass ``False`` to skip the O(n·d) scan.
     """
 
     def __init__(
@@ -49,6 +93,7 @@ class CategoricalMatrix:
         codes: np.ndarray,
         n_levels: Sequence[int],
         names: Sequence[str],
+        validate: bool = True,
     ):
         codes = np.asarray(codes, dtype=np.int64)
         if codes.ndim != 2:
@@ -65,10 +110,8 @@ class CategoricalMatrix:
         for j, k in enumerate(n_levels):
             if k <= 0:
                 raise SchemaError(f"feature {names[j]!r}: domain size must be positive")
-            if codes.shape[0] and (codes[:, j].min() < 0 or codes[:, j].max() >= k):
-                raise SchemaError(
-                    f"feature {names[j]!r}: codes out of range for {k} levels"
-                )
+        if validate:
+            check_code_ranges(codes, n_levels, names)
         self.codes = codes
         self.n_levels = n_levels
         self.names = names
@@ -125,8 +168,8 @@ class CategoricalMatrix:
     # ------------------------------------------------------------------
     # Encodings
     # ------------------------------------------------------------------
-    def onehot(self) -> np.ndarray:
-        """The one-hot encoding, ``(n, sum(n_levels))``, cached after first use.
+    def onehot(self, materialize: bool = False) -> np.ndarray:
+        """The dense one-hot encoding, ``(n, sum(n_levels))``.
 
         Column blocks follow feature order; block ``j`` has width
         ``n_levels[j]``.  Because domains are closed, the encoding of any
@@ -134,18 +177,33 @@ class CategoricalMatrix:
         the property that lets SVMs and k-NN sidestep the unseen-level
         crashes that categorical tree implementations suffer
         (paper, Section 6.2).
+
+        By default the array is recomputed on each call: a cached copy
+        would pin ``n × sum(n_levels)`` float64 bytes for the lifetime of
+        the matrix, which for large FK domains dwarfs the codes
+        themselves.  Pass ``materialize=True`` to opt into caching when
+        repeated dense access is genuinely wanted.  Models avoid this
+        path entirely via :meth:`onehot_view`.
         """
-        if self._onehot_cache is None:
-            if self.n_features == 0:
-                self._onehot_cache = np.zeros((self.n_rows, 0), dtype=np.float64)
-            else:
-                offsets = np.concatenate(([0], np.cumsum(self.n_levels)[:-1]))
-                flat = self.codes + offsets[np.newaxis, :]
-                out = np.zeros((self.n_rows, self.onehot_width), dtype=np.float64)
-                rows = np.repeat(np.arange(self.n_rows), self.n_features)
-                out[rows, flat.ravel()] = 1.0
-                self._onehot_cache = out
-        return self._onehot_cache
+        if self._onehot_cache is not None:
+            return self._onehot_cache
+        # The column layout is owned by OneHotMatrix; materialising is
+        # just its scatter, so the two paths cannot drift apart.
+        out = self.onehot_view().toarray()
+        if materialize:
+            self._onehot_cache = out
+        return out
+
+    def onehot_view(self) -> "repro.ml.sparse.OneHotMatrix":  # noqa: F821
+        """An implicit one-hot view that never allocates the dense matrix.
+
+        The view answers matrix products, gradient scatters, Gram blocks
+        and squared distances via gathers over the codes; see
+        :mod:`repro.ml.sparse`.
+        """
+        from repro.ml.sparse import OneHotMatrix
+
+        return OneHotMatrix(self)
 
     # ------------------------------------------------------------------
     # Slicing
@@ -155,7 +213,10 @@ class CategoricalMatrix:
         rows = np.asarray(rows)
         if rows.dtype == bool:
             rows = np.flatnonzero(rows)
-        return CategoricalMatrix(self.codes[rows], self.n_levels, self.names)
+        # Row subsets of validated codes need no re-validation.
+        return CategoricalMatrix(
+            self.codes[rows], self.n_levels, self.names, validate=False
+        )
 
     def select_features(self, which: Sequence[int] | Sequence[str]) -> "CategoricalMatrix":
         """Project onto a subset of features, by index or by name."""
@@ -169,6 +230,7 @@ class CategoricalMatrix:
             self.codes[:, indices],
             [self.n_levels[j] for j in indices],
             [self.names[j] for j in indices],
+            validate=False,
         )
 
     def drop_features(self, which: Sequence[int] | Sequence[str]) -> "CategoricalMatrix":

@@ -7,12 +7,18 @@ power iteration.  :class:`LogisticRegressionPath` mirrors glmnet's
 interface: fit a geometric sequence of ``nlambda`` penalties from
 ``lambda_max`` (smallest penalty with an all-zero solution) downward,
 warm-starting each fit from the previous solution.
+
+All matrix work goes through :mod:`repro.ml.sparse`: under the default
+``engine="implicit"`` the margins are per-feature gathers of ``w`` and
+the gradient is a scatter-add into the active one-hot columns, so one
+FISTA iteration costs ``O(n·d)`` regardless of the encoded width.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.ml import sparse
 from repro.ml.base import Estimator, check_fitted, check_X_y
 from repro.ml.encoding import CategoricalMatrix
 from repro.rng import ensure_rng
@@ -31,8 +37,13 @@ def _sigmoid(z: np.ndarray) -> np.ndarray:
     return out
 
 
-def _lipschitz_bound(X: np.ndarray, seed: int = 0, iterations: int = 30) -> float:
-    """Upper bound on the logistic-loss gradient Lipschitz constant."""
+def _lipschitz_bound(X, seed: int = 0, iterations: int = 30) -> float:
+    """Upper bound on the logistic-loss gradient Lipschitz constant.
+
+    ``X`` may be a dense array or an implicit
+    :class:`~repro.ml.sparse.OneHotMatrix`; power iteration only needs
+    the two matrix-vector products, which both engines provide.
+    """
     n = X.shape[0]
     rng = ensure_rng(seed)
     v = rng.normal(size=X.shape[1])
@@ -42,8 +53,8 @@ def _lipschitz_bound(X: np.ndarray, seed: int = 0, iterations: int = 30) -> floa
     v /= norm
     sigma = 1.0
     for _ in range(iterations):
-        u = X @ v
-        v = X.T @ u
+        u = sparse.matmul(X, v)
+        v = sparse.rmatmul(X, u)
         norm = np.linalg.norm(v)
         if norm == 0:
             break
@@ -65,9 +76,13 @@ class L1LogisticRegression(Estimator):
         Relative-change convergence threshold (glmnet's ``thresh``).
     fit_intercept:
         Whether to learn an unpenalised bias term.
+    engine:
+        ``"implicit"`` (default) trains on the gather/scatter one-hot
+        view; ``"dense"`` materialises the encoding — the reference
+        fallback, numerically equivalent.
     """
 
-    _param_names = ("lam", "max_iter", "tol", "fit_intercept")
+    _param_names = ("lam", "max_iter", "tol", "fit_intercept", "engine")
 
     def __init__(
         self,
@@ -75,11 +90,13 @@ class L1LogisticRegression(Estimator):
         max_iter: int = 1000,
         tol: float = 1e-5,
         fit_intercept: bool = True,
+        engine: str = "implicit",
     ):
         self.lam = lam
         self.max_iter = max_iter
         self.tol = tol
         self.fit_intercept = fit_intercept
+        self.engine = engine
 
     def fit(
         self,
@@ -90,7 +107,7 @@ class L1LogisticRegression(Estimator):
         y = check_X_y(X, y)
         if self.lam < 0:
             raise ValueError(f"lam must be >= 0, got {self.lam}")
-        encoded = X.onehot()
+        encoded = sparse.encode_features(X, self.engine)
         n, d = encoded.shape
         signed = np.where(y > 0, 1.0, -1.0)
         if warm_start is not None:
@@ -104,10 +121,10 @@ class L1LogisticRegression(Estimator):
         z_w, z_b, t_acc = w.copy(), b, 1.0
         self.n_iter_ = 0
         for iteration in range(self.max_iter):
-            margin = signed * (encoded @ z_w + z_b)
+            margin = signed * (sparse.matmul(encoded, z_w) + z_b)
             probs = _sigmoid(-margin)
             residual = -(signed * probs) / n
-            grad_w = encoded.T @ residual
+            grad_w = sparse.rmatmul(encoded, residual)
             grad_b = residual.sum() if self.fit_intercept else 0.0
             w_new = _soft_threshold(z_w - step * grad_w, step * self.lam)
             b_new = z_b - step * grad_b
@@ -132,7 +149,8 @@ class L1LogisticRegression(Estimator):
             raise ValueError(
                 f"expected {self.n_features_} features, got {X.n_features}"
             )
-        return X.onehot() @ self.coef_ + self.intercept_
+        encoded = sparse.encode_features(X, getattr(self, "engine", "dense"))
+        return sparse.matmul(encoded, self.coef_) + self.intercept_
 
     def predict_proba(self, X: CategoricalMatrix) -> np.ndarray:
         """Probabilities ``[P(y=0), P(y=1)]``."""
@@ -161,6 +179,8 @@ class LogisticRegressionPath:
     max_iter, tol:
         Passed through to each path fit (paper: ``maxit=10000``,
         ``thresh=0.001``).
+    engine:
+        Execution engine passed through to each path fit.
     """
 
     def __init__(
@@ -169,6 +189,7 @@ class LogisticRegressionPath:
         lambda_min_ratio: float = 1e-3,
         max_iter: int = 10_000,
         tol: float = 1e-3,
+        engine: str = "implicit",
     ):
         if nlambda < 1:
             raise ValueError(f"nlambda must be >= 1, got {nlambda}")
@@ -176,16 +197,17 @@ class LogisticRegressionPath:
         self.lambda_min_ratio = lambda_min_ratio
         self.max_iter = max_iter
         self.tol = tol
+        self.engine = sparse.check_engine(engine)
 
     def lambda_max(self, X: CategoricalMatrix, y: np.ndarray) -> float:
         """Smallest penalty at which the all-zero solution is optimal."""
         y = np.asarray(y, dtype=np.float64)
-        encoded = X.onehot()
+        encoded = sparse.encode_features(X, self.engine)
         n = encoded.shape[0]
         centred = y - y.mean()
         if encoded.shape[1] == 0:
             return 1.0
-        return float(np.abs(encoded.T @ centred).max() / n) or 1.0
+        return float(np.abs(sparse.rmatmul(encoded, centred)).max() / n) or 1.0
 
     def fit(
         self, X: CategoricalMatrix, y: np.ndarray
@@ -199,7 +221,10 @@ class LogisticRegressionPath:
         warm: tuple[np.ndarray, float] | None = None
         for lam in lams:
             model = L1LogisticRegression(
-                lam=float(lam), max_iter=self.max_iter, tol=self.tol
+                lam=float(lam),
+                max_iter=self.max_iter,
+                tol=self.tol,
+                engine=self.engine,
             )
             model.fit(X, y, warm_start=warm)
             warm = (model.coef_, model.intercept_)

@@ -2,11 +2,13 @@
 
 The paper's "braindead" 1-NN baseline (Section 3/5).  For one-hot encoded
 categorical vectors, the squared Euclidean distance between two examples
-is exactly ``2 × (number of mismatching features)``, so neighbours are
-found by counting code mismatches — mathematically identical to one-hot
-Euclidean 1-NN but linear rather than quadratic in total domain size.
-Section 5's analysis of why FK memorisation does not hurt 1-NN
-generalisation rests on this distance structure.
+is exactly ``2 × (number of mismatching features)``, so neighbours come
+from :meth:`repro.ml.sparse.OneHotMatrix.squared_distances` — the
+code-equality kernel shared with the SVM Gram computation —
+mathematically identical to one-hot Euclidean 1-NN but linear rather
+than quadratic in total domain size.  Section 5's analysis of why FK
+memorisation does not hurt 1-NN generalisation rests on this distance
+structure.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ import numpy as np
 
 from repro.ml.base import Estimator, check_fitted, check_X_y
 from repro.ml.encoding import CategoricalMatrix
+from repro.ml.sparse import OneHotMatrix
 
 
 class KNeighborsClassifier(Estimator):
@@ -54,22 +57,22 @@ class KNeighborsClassifier(Estimator):
             raise ValueError(
                 f"expected {self.X_.n_features} features, got {X.n_features}"
             )
-        train = self.X_.codes
+        train = OneHotMatrix(self.X_)
+        test = OneHotMatrix(X)
         out = np.empty(X.n_rows, dtype=np.int64)
         k = self.n_neighbors
         for start in range(0, X.n_rows, self.chunk_size):
-            block = X.codes[start : start + self.chunk_size]
-            # (block, train) mismatch counts; ties broken by training order,
-            # matching a stable scan over the training set.
-            distances = (block[:, np.newaxis, :] != train[np.newaxis, :, :]).sum(
-                axis=2
-            )
+            block = test.take_rows(slice(start, start + self.chunk_size))
+            # One-hot squared distances are a monotone transform of the
+            # mismatch counts, and exact small even integers in float64,
+            # so ties still break by training order (stable argmin).
+            distances = block.squared_distances(train, chunk_size=block.n_rows)
             if k == 1:
                 nearest = np.argmin(distances, axis=1)
-                out[start : start + block.shape[0]] = self.y_[nearest]
+                out[start : start + block.n_rows] = self.y_[nearest]
             else:
                 nearest = np.argpartition(distances, k - 1, axis=1)[:, :k]
-                for i in range(block.shape[0]):
+                for i in range(block.n_rows):
                     votes = np.bincount(
                         self.y_[nearest[i]], minlength=self.n_classes_
                     )

@@ -4,12 +4,20 @@ Architecture per the paper's Section 3.2: hidden layers (256, 64) with
 ReLU activations, softmax output, cross-entropy loss, L2 weight penalty,
 Adam optimizer.  Hidden sizes, epochs and batch size are configurable so
 the scaled experiment profiles can trade fidelity for runtime.
+
+The input layer runs on the implicit one-hot engine by default: the
+forward product gathers first-layer weight rows by code and the backward
+weight gradient scatter-adds each batch row's delta into the one-hot
+columns it activates (:mod:`repro.ml.sparse`), so neither pass touches
+the ``sum(n_levels)``-wide zero structure.  Label one-hot targets are
+built per minibatch rather than materialised for the full training set.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.ml import sparse
 from repro.ml.base import Estimator, check_fitted, check_X_y
 from repro.ml.encoding import CategoricalMatrix
 from repro.ml.neural.adam import AdamOptimizer
@@ -43,6 +51,10 @@ class MLPClassifier(Estimator):
         Minibatch size.
     random_state:
         Seed for weight initialisation and batch shuffling.
+    engine:
+        ``"implicit"`` (default) runs the input layer on the
+        gather/scatter one-hot view; ``"dense"`` materialises the
+        encoding — the reference fallback, numerically equivalent.
     """
 
     _param_names = (
@@ -52,6 +64,7 @@ class MLPClassifier(Estimator):
         "epochs",
         "batch_size",
         "random_state",
+        "engine",
     )
 
     def __init__(
@@ -62,6 +75,7 @@ class MLPClassifier(Estimator):
         epochs: int = 30,
         batch_size: int = 128,
         random_state: int | None = 0,
+        engine: str = "implicit",
     ):
         self.hidden_sizes = tuple(hidden_sizes)
         self.l2 = l2
@@ -69,6 +83,7 @@ class MLPClassifier(Estimator):
         self.epochs = epochs
         self.batch_size = batch_size
         self.random_state = random_state
+        self.engine = engine
 
     def fit(self, X: CategoricalMatrix, y: np.ndarray) -> "MLPClassifier":
         y = check_X_y(X, y)
@@ -81,7 +96,7 @@ class MLPClassifier(Estimator):
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
         rng = ensure_rng(self.random_state)
-        encoded = X.onehot()
+        encoded = sparse.encode_features(X, self.engine)
         n, d = encoded.shape
         self.n_classes_ = max(int(y.max()) + 1, 2)
         self.n_features_ = X.n_features
@@ -93,29 +108,35 @@ class MLPClassifier(Estimator):
         ]
         self.biases_ = [np.zeros(sizes[i + 1]) for i in range(len(sizes) - 1)]
         optimizer = AdamOptimizer(learning_rate=self.learning_rate)
-        onehot_y = np.zeros((n, self.n_classes_))
-        onehot_y[np.arange(n), y] = 1.0
         self.loss_curve_: list[float] = []
         for _ in range(self.epochs):
             order = rng.permutation(n)
             epoch_loss = 0.0
             for start in range(0, n, self.batch_size):
                 batch = order[start : start + self.batch_size]
-                loss = self._step(encoded[batch], onehot_y[batch], optimizer)
+                # Label one-hot targets are tiny per batch; building them
+                # lazily avoids pinning an (n, n_classes) matrix.
+                targets = np.zeros((batch.size, self.n_classes_))
+                targets[np.arange(batch.size), y[batch]] = 1.0
+                loss = self._step(
+                    sparse.take_rows(encoded, batch), targets, optimizer
+                )
                 epoch_loss += loss * batch.size
             self.loss_curve_.append(epoch_loss / n)
         return self
 
-    def _forward(self, inputs: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+    def _forward(self, inputs) -> tuple[list, np.ndarray]:
+        # inputs is a dense array or an implicit OneHotMatrix view; only
+        # the first layer's product dispatches, hidden layers are dense.
         activations = [inputs]
         for i, (W, b) in enumerate(zip(self.weights_, self.biases_)):
-            z = activations[-1] @ W + b
+            z = sparse.matmul(activations[-1], W) + b
             is_output = i == len(self.weights_) - 1
             activations.append(_softmax(z) if is_output else _relu(z))
         return activations[:-1], activations[-1]
 
     def _step(
-        self, inputs: np.ndarray, targets: np.ndarray, optimizer: AdamOptimizer
+        self, inputs, targets: np.ndarray, optimizer: AdamOptimizer
     ) -> float:
         hidden, probs = self._forward(inputs)
         m = inputs.shape[0]
@@ -126,7 +147,9 @@ class MLPClassifier(Estimator):
         grads_b: list[np.ndarray] = [None] * len(self.biases_)  # type: ignore[list-item]
         delta = (probs - targets) / m
         for i in range(len(self.weights_) - 1, -1, -1):
-            grads_w[i] = hidden[i].T @ delta + self.l2 * self.weights_[i]
+            # The input layer's gradient (i == 0) scatter-adds delta rows
+            # into the one-hot columns under the implicit engine.
+            grads_w[i] = sparse.rmatmul(hidden[i], delta) + self.l2 * self.weights_[i]
             grads_b[i] = delta.sum(axis=0)
             if i > 0:
                 delta = (delta @ self.weights_[i].T) * (hidden[i] > 0)
@@ -140,7 +163,8 @@ class MLPClassifier(Estimator):
             raise ValueError(
                 f"expected {self.n_features_} features, got {X.n_features}"
             )
-        _, probs = self._forward(X.onehot())
+        encoded = sparse.encode_features(X, getattr(self, "engine", "dense"))
+        _, probs = self._forward(encoded)
         return probs
 
     def predict(self, X: CategoricalMatrix) -> np.ndarray:

@@ -4,14 +4,21 @@ Consumes a :class:`~repro.ml.encoding.CategoricalMatrix` and one-hot
 encodes internally, matching the paper's treatment of categorical
 features for SVMs (Section 5 relies on this encoding in its distance
 analysis: a foreign key contributes at most 2 to any squared distance).
+
+Under the default ``engine="implicit"`` the Gram matrix comes straight
+from code-equality counts (:mod:`repro.ml.sparse`) and the support
+vectors are kept as an implicit view over their code rows, so neither
+training nor prediction materialises the one-hot encoding.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.ml import sparse
 from repro.ml.base import Estimator, check_fitted, check_X_y
 from repro.ml.encoding import CategoricalMatrix
+from repro.ml.sparse import OneHotMatrix
 from repro.ml.svm.kernels import kernel_function
 from repro.ml.svm.smo import solve_smo
 
@@ -38,6 +45,10 @@ class KernelSVC(Estimator):
         SMO solver controls (see :func:`repro.ml.svm.smo.solve_smo`).
     random_state:
         Seed for the solver's second-choice fallback.
+    engine:
+        ``"implicit"`` (default) computes Gram blocks from code-equality
+        counts; ``"dense"`` one-hot encodes — the reference fallback,
+        numerically equivalent.
     """
 
     _param_names = (
@@ -50,6 +61,7 @@ class KernelSVC(Estimator):
         "max_passes",
         "max_iterations",
         "random_state",
+        "engine",
     )
 
     def __init__(
@@ -63,6 +75,7 @@ class KernelSVC(Estimator):
         max_passes: int = 3,
         max_iterations: int = 20_000,
         random_state: int | None = 0,
+        engine: str = "implicit",
     ):
         self.kernel = kernel
         self.C = C
@@ -73,6 +86,7 @@ class KernelSVC(Estimator):
         self.max_passes = max_passes
         self.max_iterations = max_iterations
         self.random_state = random_state
+        self.engine = engine
 
     def _kernel(self):
         return kernel_function(
@@ -87,10 +101,12 @@ class KernelSVC(Estimator):
                 f"KernelSVC is a binary classifier; got {classes.size} classes"
             )
         self.classes_ = classes if classes.size == 2 else np.array([0, 1])
-        encoded = X.onehot()
+        encoded = sparse.encode_features(X, self.engine)
         if classes.size == 1:
-            # Degenerate but legal: everything is one class.
-            self.support_vectors_ = encoded[:1]
+            # Degenerate but legal: everything is one class.  Index with
+            # an array (copy, not a slice view) so the one stored row
+            # does not pin the whole training encoding.
+            self.support_vectors_ = sparse.take_rows(encoded, np.arange(1))
             self.dual_coef_ = np.zeros(1)
             self.bias_ = 1.0 if classes[0] == self.classes_[-1] else -1.0
             self.n_features_ = X.n_features
@@ -111,7 +127,7 @@ class KernelSVC(Estimator):
             # All multipliers at zero: fall back to the majority class via bias.
             support = np.zeros_like(support)
             support[0] = True
-        self.support_vectors_ = encoded[support]
+        self.support_vectors_ = sparse.take_rows(encoded, support)
         self.dual_coef_ = (result.alpha * y_signed)[support]
         self.bias_ = result.bias
         self.converged_ = result.converged
@@ -125,7 +141,13 @@ class KernelSVC(Estimator):
             raise ValueError(
                 f"expected {self.n_features_} features, got {X.n_features}"
             )
-        gram = self._kernel()(X.onehot(), self.support_vectors_)
+        # Encode with whichever engine produced the stored support
+        # vectors, so artifacts fitted under either engine keep working.
+        if isinstance(self.support_vectors_, OneHotMatrix):
+            encoded = OneHotMatrix(X)
+        else:
+            encoded = X.onehot()
+        gram = self._kernel()(encoded, self.support_vectors_)
         return gram @ self.dual_coef_ + self.bias_
 
     def predict(self, X: CategoricalMatrix) -> np.ndarray:

@@ -13,6 +13,15 @@ gathers per dimension.
 Dimensions the loaded strategy avoids are never touched — the serving
 path realises the paper's payoff directly: a NoJoin model needs *no*
 dimension access at all to serve predictions.
+
+The assembled matrices feed the models' implicit one-hot engine
+(:mod:`repro.ml.sparse`) end to end: dimension codes gathered from
+validated tables skip re-validation (the matrix is built with
+``validate=False``), caller-supplied fact codes get one cheap min/max
+range check since :meth:`FeatureService.assemble` is public, and a
+numeric model's predict call runs gather-based kernels over the codes —
+the dense one-hot matrix is never materialised anywhere on the request
+path, however large the FK domains.
 """
 
 from __future__ import annotations
@@ -25,7 +34,7 @@ import numpy as np
 
 from repro.core.strategies import JoinStrategy
 from repro.errors import SchemaError
-from repro.ml.encoding import CategoricalMatrix
+from repro.ml.encoding import CategoricalMatrix, check_code_ranges
 from repro.relational.join import dimension_row_index, resolve_dimension_rows
 from repro.relational.schema import StarSchema
 from repro.relational.table import Table
@@ -238,7 +247,15 @@ class FeatureService:
                     raise SchemaError(
                         f"request batch lacks fact column {feature!r}"
                     ) from None
-                levels.append(len(self.schema.fact.domain(feature)))
+                n_levels = len(self.schema.fact.domain(feature))
+                # Caller-supplied codes are the one unverified input here
+                # (encode_requests/assemble_table pre-validate, direct
+                # assemble() callers may not); check before they reach
+                # the implicit engine's gathers.
+                check_code_ranges(
+                    codes[:, np.newaxis], (n_levels,), (feature,)
+                )
+                levels.append(n_levels)
             else:
                 name, fk = owner
                 if name not in entries:
@@ -263,8 +280,11 @@ class FeatureService:
             columns.append(codes)
         if not columns:
             return CategoricalMatrix.empty(n)
+        # Fact codes were validated by Domain.encode and dimension codes
+        # come from validated tables, so skip the per-batch range scan.
         return CategoricalMatrix(
-            np.stack(columns, axis=1), levels, self.feature_names
+            np.stack(columns, axis=1), levels, self.feature_names,
+            validate=False,
         )
 
     def assemble_table(self, fact_rows: Table) -> CategoricalMatrix:

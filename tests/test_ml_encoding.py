@@ -75,9 +75,26 @@ class TestCategoricalMatrix:
         # Every row has exactly d ones.
         assert np.all(hot.sum(axis=1) == 2)
 
-    def test_onehot_cached(self):
+    def test_onehot_not_cached_by_default(self):
+        """The dense encoding must not pin (n, width) memory implicitly."""
         m = _matrix()
-        assert m.onehot() is m.onehot()
+        assert m.onehot() is not m.onehot()
+
+    def test_onehot_cache_opt_in(self):
+        m = _matrix()
+        assert m.onehot(materialize=True) is m.onehot()
+
+    def test_onehot_view_matches_dense(self):
+        m = _matrix()
+        view = m.onehot_view()
+        assert view.shape == (3, 5)
+        assert np.array_equal(view.toarray(), m.onehot())
+
+    def test_skip_validation_accepts_preverified_codes(self):
+        m = CategoricalMatrix(
+            np.array([[0], [1]]), (2,), ("a",), validate=False
+        )
+        assert m.n_rows == 2
 
     def test_onehot_empty_features(self):
         m = CategoricalMatrix.empty(4)

@@ -8,7 +8,9 @@ behaviour:
   why NoJoin matches JoinAll for trees;
 - SMO solves the same dual problem as a reference QP solver;
 - the hash join agrees with a naive row-by-row reference;
-- the Domingos decomposition identity holds for arbitrary predictions.
+- the Domingos decomposition identity holds for arbitrary predictions;
+- the implicit one-hot engine reproduces the dense encoding's linear
+  algebra to 1e-10 on arbitrary shapes and domains.
 """
 
 import numpy as np
@@ -204,3 +206,101 @@ class TestOneHotDistanceStructure:
             xr_cols = [matrices.X_train.index_of(f"Xr{i}") for i in range(3)]
             for j in xr_cols:
                 assert codes[rows[0], j] == codes[rows[1], j]
+
+class TestImplicitOneHotEquivalence:
+    """The gather/scatter engine must agree with dense one-hot algebra.
+
+    Shapes and domains are drawn adversarially: zero rows, zero
+    features, single-level domains (a constant one-hot column) and
+    mixed widths all appear.
+    """
+
+    @staticmethod
+    def _random_case(n_rows, n_features, seed):
+        rng = np.random.default_rng(seed)
+        levels = tuple(int(k) for k in rng.integers(1, 13, size=n_features))
+        if n_features:
+            codes = np.column_stack(
+                [rng.integers(0, k, size=n_rows) for k in levels]
+            )
+        else:
+            codes = np.zeros((n_rows, 0), dtype=np.int64)
+        names = tuple(f"f{j}" for j in range(n_features))
+        return CategoricalMatrix(codes, levels, names), rng
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_products_match_dense(self, n_rows, n_features, seed):
+        X, rng = self._random_case(n_rows, n_features, seed)
+        view = X.onehot_view()
+        hot = X.onehot()
+        w = rng.normal(size=view.width)
+        assert np.allclose(view.matmul(w), hot @ w, rtol=0.0, atol=1e-10)
+        W = rng.normal(size=(view.width, 3))
+        assert np.allclose(view.matmul(W), hot @ W, rtol=0.0, atol=1e-10)
+        v = rng.normal(size=n_rows)
+        assert np.allclose(view.rmatmul(v), hot.T @ v, rtol=0.0, atol=1e-10)
+        V = rng.normal(size=(n_rows, 2))
+        assert np.allclose(view.rmatmul(V), hot.T @ V, rtol=0.0, atol=1e-10)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_gram_and_distances_match_dense(self, n_a, n_b, n_features, seed):
+        A, rng = self._random_case(n_a, n_features, seed)
+        levels = A.n_levels
+        if n_features:
+            codes_b = np.column_stack(
+                [rng.integers(0, k, size=n_b) for k in levels]
+            )
+        else:
+            codes_b = np.zeros((n_b, 0), dtype=np.int64)
+        B = CategoricalMatrix(codes_b, levels, A.names)
+        va, vb = A.onehot_view(), B.onehot_view()
+        ha, hb = A.onehot(), B.onehot()
+        assert np.allclose(
+            va.match_counts(vb, chunk_size=7), ha @ hb.T, rtol=0.0, atol=1e-10
+        )
+        expected = (
+            (ha**2).sum(axis=1)[:, None]
+            + (hb**2).sum(axis=1)[None, :]
+            - 2.0 * ha @ hb.T
+        )
+        assert np.allclose(
+            va.squared_distances(vb), expected, rtol=0.0, atol=1e-10
+        )
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_column_statistics_match_dense(self, n_rows, n_features, seed):
+        X, _ = self._random_case(n_rows, n_features, seed)
+        view = X.onehot_view()
+        hot = X.onehot()
+        assert np.allclose(
+            view.column_means(), hot.mean(axis=0), rtol=0.0, atol=1e-10
+        )
+        assert np.allclose(
+            view.column_scales(), hot.std(axis=0), rtol=0.0, atol=1e-10
+        )
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_toarray_reproduces_dense_exactly(self, n_rows, n_features, seed):
+        X, _ = self._random_case(n_rows, n_features, seed)
+        assert np.array_equal(X.onehot_view().toarray(), X.onehot())

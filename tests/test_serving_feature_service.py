@@ -53,6 +53,15 @@ class TestAssembly:
         with pytest.raises(SchemaError, match="lacks"):
             service.assemble({"Gender": np.array([0]), "Age": np.array([1])})
 
+    def test_out_of_range_fact_codes_raise(self, churn_schema):
+        """assemble() must range-check caller-supplied fact codes; a bad
+        code would otherwise wrap through the implicit engine's gathers."""
+        service = FeatureService(churn_schema, no_join_strategy())
+        bad = {c: np.array([0]) for c in service.required_columns}
+        bad["Gender"] = np.array([-1])
+        with pytest.raises(SchemaError, match="out of range"):
+            service.assemble(bad)
+
     def test_ragged_batch_raises(self, churn_schema):
         service = FeatureService(churn_schema, no_join_strategy())
         with pytest.raises(SchemaError, match="ragged"):

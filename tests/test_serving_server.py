@@ -151,3 +151,35 @@ class TestThroughputReport:
         }
         for name, ratio in expected.items():
             assert ratios[name] == pytest.approx(ratio)
+
+
+class TestImplicitServingPath:
+    """Numeric models must serve via gather kernels, never dense one-hot."""
+
+    def test_numeric_model_serves_without_materializing_onehot(
+        self, dataset, monkeypatch
+    ):
+        from repro.ml.encoding import CategoricalMatrix
+
+        pipeline = fit_pipeline(
+            dataset, "lr_l1", join_all_strategy(), scale=get_scale("smoke")
+        )
+        artifact = artifact_from_pipeline(pipeline, dataset.schema)
+        server = PredictionServer(artifact, dataset.schema, max_wait_s=None)
+        rows = _label_rows(server, dataset, 8)
+
+        def forbidden(self, materialize=False):  # pragma: no cover - must not run
+            raise AssertionError(
+                "serving a numeric model materialized the dense one-hot matrix"
+            )
+
+        monkeypatch.setattr(CategoricalMatrix, "onehot", forbidden)
+        single = [server.predict_one(r) for r in rows]
+        handles = [server.submit(r) for r in rows]
+        server.flush()
+        micro = [h.result() for h in handles]
+        assert single == micro
+        target_labels = set(
+            dataset.schema.fact.domain(dataset.schema.target).labels
+        )
+        assert set(single) <= target_labels
