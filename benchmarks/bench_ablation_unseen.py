@@ -80,3 +80,42 @@ def test_ablation_unseen_policies(benchmark, scale):
     assert outcomes["xr_smoothing"] >= outcomes["random"] - 0.02
     # And everything beats coin-flipping.
     assert outcomes["xr_smoothing"] > 0.6
+
+
+SMOOTHER_FIT_BUDGET_S = 3.0
+
+
+def test_smoother_fit_budget():
+    """X_R smoothing must stay a rounding error next to model training.
+
+    At PR 2 scales (|D_FK| >= 1e5 with a sparse training split) the old
+    per-level Python loop in ``ForeignFeatureSmoother.fit`` took ~10s on
+    a single core — minutes at paper scale — dwarfing the model fit it
+    was preparing for.  The chunked-broadcast fit runs the same instance
+    in well under a second; this budget fails loudly if the per-level
+    loop (or anything of its complexity) ever comes back.
+    """
+    import time
+
+    rng = np.random.default_rng(0)
+    n_levels, d_r = 150_000, 3
+    xr = rng.integers(0, 5, size=(n_levels, d_r))
+    train = rng.choice(n_levels, size=2_000, replace=False)
+
+    started = time.perf_counter()
+    smoother = ForeignFeatureSmoother(xr, seed=0).fit(train, n_levels=n_levels)
+    elapsed = time.perf_counter() - started
+    print(f"\nsmoother fit at |D_FK|={n_levels}: {elapsed:.2f}s")
+
+    assert smoother.n_unseen_ == n_levels - len(set(train.tolist()))
+    # Spot-check the l0-minimum property so the budget can't be met by
+    # cutting corners.
+    seen = np.zeros(n_levels, dtype=bool)
+    seen[train] = True
+    for level in rng.choice(np.flatnonzero(~seen), size=25, replace=False):
+        best = (xr[train] != xr[level]).sum(axis=1).min()
+        assert (xr[smoother.mapping_[level]] != xr[level]).sum() == best
+    assert elapsed < SMOOTHER_FIT_BUDGET_S, (
+        f"smoother fit took {elapsed:.2f}s, budget "
+        f"{SMOOTHER_FIT_BUDGET_S}s — the O(unseen) per-level loop is back?"
+    )

@@ -142,6 +142,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--batch-size", type=int, default=64)
     p_bench.add_argument("--scale", choices=["smoke", "default", "paper"])
     p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "--clients",
+        type=int,
+        default=0,
+        help=(
+            "client threads for the concurrent-runtime benchmark; 0 "
+            "(default) runs the single-threaded single-vs-batched report"
+        ),
+    )
+    p_bench.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="worker-pool sizes to sweep (with --clients > 0)",
+    )
+    p_bench.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=None,
+        help=(
+            "aggregate open-loop arrival rate in requests/s (with "
+            "--clients > 0); default: unbounded (saturation)"
+        ),
+    )
     return parser
 
 
@@ -273,12 +298,32 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
-    from repro.serving import serving_throughput
+    from repro.serving import concurrent_serving_throughput, serving_throughput
 
     scale = get_scale(args.scale)
     dataset = generate_real_world(
         args.dataset, n_fact=scale.n_fact, seed=args.seed
     )
+    if args.clients > 0:
+        if args.arrival_rate is not None and args.arrival_rate <= 0:
+            print(
+                f"error: --arrival-rate must be positive, got "
+                f"{args.arrival_rate}",
+                file=sys.stderr,
+            )
+            return 2
+        report = concurrent_serving_throughput(
+            dataset,
+            model_key=args.model,
+            rows=args.rows,
+            batch_size=args.batch_size,
+            clients=args.clients,
+            worker_counts=tuple(args.workers),
+            arrival_rate=args.arrival_rate,
+            scale=scale,
+        )
+        print(report.render())
+        return 0 if report.identical else 2
     report = serving_throughput(
         dataset,
         model_key=args.model,

@@ -117,7 +117,15 @@ def advise(
         ) from None
     n_train = schema.fact.n_rows if train_rows is None else train_rows
     if n_train <= 0:
-        raise ValueError(f"train_rows must be positive, got {train_rows}")
+        source = (
+            "resolved from the fact table's cardinality"
+            if train_rows is None
+            else "passed as train_rows"
+        )
+        raise ValueError(
+            f"advise needs a positive training-row count to form tuple "
+            f"ratios; got n_train={n_train} ({source})"
+        )
     report = JoinSafetyReport(model_family=model_family, threshold=threshold)
     for name in schema.dimension_names:
         constraint = schema.constraint(name)

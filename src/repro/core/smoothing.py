@@ -134,10 +134,32 @@ class ForeignFeatureSmoother(_BaseSmoother):
             xr[rid_codes, j] = table.codes(feature)
         return cls(xr, seed=seed)
 
+    #: Element budget per broadcast block (pattern-chunk × seen); caps
+    #: the transient mismatch/cumulative-count matrices at tens of MB.
+    _CHUNK_BUDGET = 16_000_000
+
     def fit(
         self, train_codes: np.ndarray, n_levels: int | None = None
     ) -> "ForeignFeatureSmoother":
-        """Learn the mapping: unseen level → l0-nearest seen level."""
+        """Learn the mapping: unseen level → l0-nearest seen level.
+
+        Vectorized end to end — at realistic FK domain sizes
+        (|D_FK| ≥ 1e5 with sparse training splits) the old per-level
+        Python loop took minutes and dwarfed model training itself:
+
+        - unseen levels are first deduplicated by their ``X_R`` pattern
+          (levels with identical foreign features have identical
+          candidate sets, and dimension attributes have small closed
+          domains, so the distinct patterns are typically few);
+        - per chunk of distinct patterns, the ``(chunk, n_seen)``
+          mismatch counts accumulate one foreign feature at a time in
+          the narrowest sufficient integer dtype (the flops of the 3-D
+          broadcast, a fraction of its memory traffic);
+        - ties are still broken uniformly and *independently per unseen
+          level*: each level draws ``k ~ U{0, ties-1}`` and locates its
+          k-th co-minimal seen level with one ``searchsorted`` over the
+          offset-flattened cumulative tie counts.
+        """
         n_levels = self.xr_codes.shape[0] if n_levels is None else n_levels
         if n_levels != self.xr_codes.shape[0]:
             raise ValueError(
@@ -151,11 +173,46 @@ class ForeignFeatureSmoother(_BaseSmoother):
         unseen_levels = np.flatnonzero(~seen)
         if unseen_levels.size:
             seen_xr = self.xr_codes[seen_levels]
-            for level in unseen_levels:
-                mismatches = (seen_xr != self.xr_codes[level]).sum(axis=1)
-                minimum = mismatches.min()
-                candidates = seen_levels[mismatches == minimum]
-                mapping[level] = rng.choice(candidates)
+            n_seen, d_r = seen_xr.shape
+            mism_dtype = np.int8 if d_r < 127 else np.int32
+            patterns, inverse = np.unique(
+                self.xr_codes[unseen_levels], axis=0, return_inverse=True
+            )
+            inverse = inverse.reshape(-1)
+            chunk = max(1, self._CHUNK_BUDGET // max(1, n_seen))
+            for start in range(0, patterns.shape[0], chunk):
+                block = patterns[start : start + chunk]
+                mismatches = np.zeros((block.shape[0], n_seen), dtype=mism_dtype)
+                for j in range(d_r):
+                    mismatches += block[:, j, np.newaxis] != seen_xr[:, j]
+                ties = mismatches == mismatches.min(axis=1, keepdims=True)
+                # int32 cumulative counts: offsets stay below the chunk
+                # budget, and matching dtypes keep searchsorted copy-free.
+                cum = ties.cumsum(axis=1, dtype=np.int32)
+                # The levels whose pattern falls in this chunk, each with
+                # its own independent draw among its pattern's ties.
+                members = np.flatnonzero(
+                    (inverse >= start) & (inverse < start + block.shape[0])
+                )
+                local = inverse[members] - start
+                totals = cum[local, -1]
+                picks = np.minimum(
+                    (rng.random(members.size) * totals).astype(np.int32),
+                    totals - 1,
+                )
+                # Offset each pattern row so the flattened cumulative
+                # counts are globally ascending; one searchsorted then
+                # finds every level's (pick+1)-th tie position.
+                stride = np.int32(n_seen + 1)
+                flat = (
+                    cum
+                    + stride * np.arange(block.shape[0], dtype=np.int32)[:, np.newaxis]
+                ).ravel()
+                targets = (picks + 1 + stride * local).astype(np.int32)
+                positions = np.searchsorted(flat, targets, side="left")
+                mapping[unseen_levels[members]] = seen_levels[
+                    positions - local * n_seen
+                ]
         self.seen_ = seen
         self.mapping_ = mapping
         return self

@@ -49,5 +49,15 @@ class NotFittedError(ReproError):
     """An estimator method requiring a fitted model was called before fit."""
 
 
+class ModelSelectionError(ReproError):
+    """A model-selection search produced no usable model.
+
+    Raised when every grid point of a :class:`repro.ml.GridSearch`
+    yields a non-comparable (NaN) validation score, instead of leaving
+    the search silently unfitted and failing later with a bare
+    ``AttributeError`` at predict time.
+    """
+
+
 class ConvergenceWarning(UserWarning):
     """An iterative solver stopped at its iteration limit."""

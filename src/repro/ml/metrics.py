@@ -36,14 +36,13 @@ def zero_one_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
 def confusion_counts(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
     """Binary confusion counts ``[[tn, fp], [fn, tp]]``.
 
-    Both inputs must be coded in {0, 1}.
+    Both inputs must be coded in {0, 1}.  Counted in a single
+    ``np.bincount`` pass over the joint cell index ``2·y_true + y_pred``
+    instead of one masked scan per cell.
     """
     y_true, y_pred = _check_pair(y_true, y_pred)
     values = np.unique(np.concatenate([y_true, y_pred]))
-    if values.size and (values.min() < 0 or values.max() > 1):
+    if values.size and not np.isin(values, (0, 1)).all():
         raise ValueError("confusion_counts expects binary labels coded 0/1")
-    out = np.zeros((2, 2), dtype=np.int64)
-    for t in (0, 1):
-        for p in (0, 1):
-            out[t, p] = int(np.sum((y_true == t) & (y_pred == p)))
-    return out
+    cells = y_true.astype(np.int64) * 2 + y_pred.astype(np.int64)
+    return np.bincount(cells, minlength=4).reshape(2, 2)

@@ -17,6 +17,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.errors import ModelSelectionError
 from repro.ml.base import Estimator, check_fitted
 from repro.ml.encoding import CategoricalMatrix
 
@@ -87,6 +88,19 @@ class GridSearch:
                 best_score = score
                 best_model = model
                 best_params = params
+        if best_model is None:
+            # Every grid point scored NaN (e.g. degenerate fits): `score >
+            # best_score` is always false for NaN, so without this check
+            # the search would silently keep best_model_ = None and die
+            # later with a bare AttributeError in predict().
+            failing = ", ".join(
+                f"{result.params or '{}'} -> {result.validation_accuracy}"
+                for result in self.results_
+            )
+            raise ModelSelectionError(
+                f"grid search found no usable model: every grid point "
+                f"produced a non-comparable validation score ({failing})"
+            )
         self.best_model_ = best_model
         self.best_params_ = best_params
         self.best_validation_accuracy_ = float(best_score)

@@ -10,6 +10,12 @@ indexes (avoided dimensions are never touched), and the
 :class:`MicroBatcher` coalesces single-row requests into vectorized
 batches.
 
+The runtime is thread-safe: concurrent request threads share one
+server, a background deadline flusher bounds queueing latency, the
+dimension-index cache builds each cold entry exactly once under racing
+access, and ``PredictionServer(..., workers=N)`` shards flushed batches
+across a predict worker pool without changing any per-row result.
+
 Typical flow::
 
     pipeline = fit_pipeline(dataset, "dt_gini", no_join_strategy())
@@ -30,7 +36,12 @@ from repro.serving.artifacts import (
     schema_fingerprint,
 )
 from repro.serving.batcher import BatcherStats, MicroBatcher, PendingPrediction
-from repro.serving.benchmark import ThroughputReport, serving_throughput
+from repro.serving.benchmark import (
+    ConcurrencyReport,
+    ThroughputReport,
+    concurrent_serving_throughput,
+    serving_throughput,
+)
 from repro.serving.feature_service import (
     CacheStats,
     DimensionIndexCache,
@@ -42,6 +53,7 @@ __all__ = [
     "ARTIFACT_FORMAT_VERSION",
     "BatcherStats",
     "CacheStats",
+    "ConcurrencyReport",
     "DimensionIndexCache",
     "FeatureService",
     "MicroBatcher",
@@ -51,6 +63,7 @@ __all__ = [
     "ServerStats",
     "ThroughputReport",
     "artifact_from_pipeline",
+    "concurrent_serving_throughput",
     "load_artifact",
     "read_manifest",
     "save_artifact",

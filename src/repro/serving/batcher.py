@@ -7,20 +7,30 @@ one-hot allocation, tree routing setup) amortised over the batch.  A
 rows and receive a :class:`PendingPrediction` handle; the batcher runs
 the underlying batch function once per *batch*, flushing when
 
-- the batch reaches ``max_batch_size`` rows (flushed inline), or
-- the oldest queued row has waited ``max_wait_s`` (checked on the next
-  ``submit``/``poll``), or
-- a caller forces it (``flush()``, or ``PendingPrediction.result()`` on
-  a still-queued row — so a result can always be claimed immediately).
+- the batch reaches ``max_batch_size`` rows (flushed inline in the
+  submitting thread), or
+- the oldest queued row has waited ``max_wait_s`` (enforced by a
+  background deadline-flusher thread, so the deadline holds even when
+  no further ``submit``/``poll`` arrives), or
+- a caller forces it (``flush()``, or — in inline mode —
+  ``PendingPrediction.result()`` on a still-queued row).
 
-The design is deliberately synchronous and single-threaded: batching is
-a *throughput* device here, and keeping it free of locks makes the
-flush semantics exactly testable.  Results are delivered strictly in
-submission order.
+The batcher is thread-safe: any number of threads may ``submit``
+concurrently, the queue and all statistics are guarded by one lock, and
+the batch function itself always runs *outside* the lock so a slow
+model never blocks enqueueing.  Results are delivered strictly in
+submission order within each batch.
+
+For deterministic single-threaded tests, construct with
+``background_flush=False``: no flusher thread is started, the deadline
+is checked inline on ``submit``/``poll`` (the pre-concurrency
+semantics), and ``PendingPrediction.result()`` forces a whole-queue
+flush instead of blocking.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
@@ -28,7 +38,12 @@ from typing import Any
 
 
 class PendingPrediction:
-    """A handle to a submitted row's eventual prediction."""
+    """A handle to a submitted row's eventual prediction.
+
+    Deliberately cheap to construct — one is allocated per submitted
+    row on the hot path, so delivery blocking is coordinated through
+    the batcher's shared condition rather than a per-handle event.
+    """
 
     __slots__ = ("_batcher", "_result", "_error", "_done")
 
@@ -42,14 +57,30 @@ class PendingPrediction:
         """Whether the prediction has been computed (or failed)."""
         return self._done
 
-    def result(self) -> Any:
-        """The prediction, forcing a flush if the row is still queued.
+    def result(self, timeout: float | None = None) -> Any:
+        """The prediction, blocking until the row's batch has run.
+
+        With a background flusher the call waits on the batcher's
+        delivery condition, notified by whichever thread runs the batch
+        (flusher, size-triggered submitter, or worker pool); in inline
+        mode, or when no deadline thread exists to ever deliver the
+        row, the call first forces a flush of the whole queue so a
+        result can always be claimed, then waits out any batch another
+        thread already has in flight.
 
         If the batch call failed, every co-batched handle re-raises the
         failure here — a lost prediction is never silently ``None``.
+
+        Raises
+        ------
+        TimeoutError
+            If ``timeout`` seconds elapse while waiting for another
+            thread to deliver the batch.  A forced flush executes the
+            batch function in *this* thread, and that execution is not
+            interruptible by ``timeout``.
         """
         if not self._done:
-            self._batcher.flush(reason="forced")
+            self._batcher._claim(self, timeout)
         if self._error is not None:
             raise self._error
         return self._result
@@ -65,13 +96,25 @@ class PendingPrediction:
 
 @dataclass
 class BatcherStats:
-    """Accounting for flush behaviour; exposed via server stats."""
+    """Accounting for flush behaviour; exposed via server stats.
+
+    ``flushes``/``rows_flushed`` count *successful* batch runs only;
+    failed runs are accounted separately in ``failed_flushes``/
+    ``rows_failed`` (with the raising exception type tallied in
+    ``failure_reasons``), so once in-flight batches complete,
+    ``submitted`` reconciles against ``rows_flushed + rows_failed +
+    len(queue)`` — rows detached into a batch that is still executing
+    are transiently in neither bucket.
+    """
 
     submitted: int = 0
     flushes: int = 0
     rows_flushed: int = 0
     flush_reasons: dict[str, int] = field(default_factory=dict)
     max_batch: int = 0
+    failed_flushes: int = 0
+    rows_failed: int = 0
+    failure_reasons: dict[str, int] = field(default_factory=dict)
 
     @property
     def mean_batch(self) -> float:
@@ -86,16 +129,26 @@ class MicroBatcher:
     ----------
     batch_fn:
         Called with the list of queued payloads; must return one result
-        per payload, in order.
+        per payload, in order.  May be called concurrently from several
+        threads (the submitting thread on a size trigger, the flusher
+        thread on a deadline), so it must itself be thread-safe.
     max_batch_size:
         Queue length that triggers an inline flush on ``submit``.
     max_wait_s:
-        Maximum age of the oldest queued payload before the next
-        ``submit``/``poll`` flushes (0 degenerates to flushing on every
-        submit; ``None`` disables the deadline, leaving only the size
-        trigger and explicit flushes).
+        Maximum age of the oldest queued payload before a deadline
+        flush (0 degenerates to flushing on every submit; ``None``
+        disables the deadline, leaving only the size trigger and
+        explicit flushes).
     clock:
-        Injectable monotonic clock, for deterministic tests.
+        Injectable monotonic clock, for deterministic tests.  Only
+        honoured for deadline *checks*; the background flusher sleeps in
+        real time, so tests that drive a fake clock should pass
+        ``background_flush=False``.
+    background_flush:
+        When true (the default) and ``max_wait_s`` is set, a daemon
+        thread enforces the deadline.  When false, deadlines are only
+        checked inline on ``submit``/``poll`` and ``result()`` forces a
+        flush — the deterministic, single-threaded semantics.
     """
 
     def __init__(
@@ -104,6 +157,7 @@ class MicroBatcher:
         max_batch_size: int = 64,
         max_wait_s: float | None = 0.005,
         clock: Callable[[], float] = time.monotonic,
+        background_flush: bool = True,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -113,52 +167,201 @@ class MicroBatcher:
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_s
         self.clock = clock
+        self.background_flush = background_flush
         self.stats = BatcherStats()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        # Delivery signal for blocking result() calls: notified once per
+        # completed batch (success or failure), on its own lock so
+        # waiters never contend with submitters.
+        self._delivered = threading.Condition()
         self._queue: list[tuple[Any, PendingPrediction]] = []
         self._oldest: float | None = None
+        self._closed = False
+        self._flusher: threading.Thread | None = None
+        if background_flush and max_wait_s is not None:
+            self._flusher = threading.Thread(
+                target=self._flush_loop,
+                name="microbatcher-deadline-flusher",
+                daemon=True,
+            )
+            self._flusher.start()
 
     def __len__(self) -> int:
-        return len(self._queue)
+        with self._lock:
+            return len(self._queue)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def submit(self, payload: Any) -> PendingPrediction:
-        """Queue one row; may flush inline if a trigger fires."""
+        """Queue one row; may flush inline if a trigger fires.
+
+        Thread-safe; the batch function runs outside the lock, so other
+        submitters are never blocked behind a running batch.
+        """
         pending = PendingPrediction(self)
-        self.stats.submitted += 1
-        if self._oldest is None:
-            self._oldest = self.clock()
-        self._queue.append((payload, pending))
-        if len(self._queue) >= self.max_batch_size:
-            self.flush(reason="size")
-        else:
+        batch: list[tuple[Any, PendingPrediction]] | None = None
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed MicroBatcher")
+            self.stats.submitted += 1
+            if self._oldest is None:
+                self._oldest = self.clock()
+            self._queue.append((payload, pending))
+            if len(self._queue) >= self.max_batch_size:
+                batch = self._take_locked()
+            elif self._flusher is not None and len(self._queue) == 1:
+                # Wake the deadline flusher for the new oldest row.
+                self._wakeup.notify_all()
+        if batch is not None:
+            self._run_batch(batch, reason="size", reraise=True)
+        elif self._flusher is None:
             self._flush_if_stale()
         return pending
 
     def poll(self) -> bool:
         """Flush if the oldest queued row exceeded ``max_wait_s``.
 
-        Returns whether a flush happened.  Callers with idle periods
-        (e.g. a server loop between request bursts) call this to bound
-        queuing latency.
+        Returns whether a flush happened.  With a background flusher
+        this is never required, but callers with idle loops may still
+        use it to bound latency below the flusher's wake-up jitter.
         """
         return self._flush_if_stale()
 
-    def _flush_if_stale(self) -> bool:
-        if (
-            self._queue
-            and self.max_wait_s is not None
-            and self._oldest is not None
-            and self.clock() - self._oldest >= self.max_wait_s
-        ):
-            self.flush(reason="deadline")
-            return True
-        return False
-
     def flush(self, reason: str = "explicit") -> int:
         """Run the batch function over everything queued; returns row count."""
-        if not self._queue:
+        with self._lock:
+            batch = self._take_locked()
+        if batch is None:
             return 0
+        self._run_batch(batch, reason=reason, reraise=True)
+        return len(batch)
+
+    def close(self, flush: bool = True) -> None:
+        """Stop the deadline flusher and (by default) drain the queue.
+
+        Idempotent.  Further ``submit`` calls raise.  With ``flush``
+        (the default) queued rows run through the batch function one
+        last time; with ``flush=False`` they are *failed* instead —
+        either way no handle is left permanently pending, so a blocked
+        ``result()`` always wakes.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._wakeup.notify_all()
+        if self._flusher is not None:
+            self._flusher.join(timeout=5.0)
+        if flush:
+            self.flush(reason="close")
+            return
+        with self._lock:
+            batch = self._take_locked()
+        if batch is not None:
+            error = RuntimeError(
+                f"MicroBatcher closed with {len(batch)} unflushed rows "
+                f"(close(flush=False))"
+            )
+            with self._lock:
+                self.stats.failed_flushes += 1
+                self.stats.rows_failed += len(batch)
+                self.stats.failure_reasons["RuntimeError"] = (
+                    self.stats.failure_reasons.get("RuntimeError", 0) + 1
+                )
+            for _, pending in batch:
+                pending._fail(error)
+            with self._delivered:
+                self._delivered.notify_all()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _take_locked(self) -> list[tuple[Any, PendingPrediction]] | None:
+        """Detach the current queue (caller holds the lock)."""
+        if not self._queue:
+            return None
         batch, self._queue = self._queue, []
         self._oldest = None
+        return batch
+
+    def _claim(self, pending: PendingPrediction, timeout: float | None) -> None:
+        """Deliver ``pending``: wait for its batch, forcing one if needed.
+
+        Without a deadline-flusher thread nothing else is guaranteed to
+        ever run the row's batch, so the queue is flushed here first.
+        That flush can be a no-op when another thread has already
+        detached the row into an in-flight batch — either way, delivery
+        is then awaited on the shared condition, which ``_run_batch``
+        notifies unconditionally, so a still-pending handle never reads
+        its unset result.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        if (self._flusher is None or self._closed) and not pending._done:
+            # No live thread will ever deliver this row (never had a
+            # flusher, or close() already stopped it): run the queue
+            # through in this thread.
+            self.flush(reason="forced")
+        with self._delivered:
+            while not pending._done:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"prediction not delivered within {timeout} s "
+                        f"(deadline flusher wedged, or timeout < "
+                        f"max_wait_s {self.max_wait_s})"
+                    )
+                self._delivered.wait(remaining)
+
+    def _flush_if_stale(self) -> bool:
+        with self._lock:
+            stale = (
+                bool(self._queue)
+                and self.max_wait_s is not None
+                and self._oldest is not None
+                and self.clock() - self._oldest >= self.max_wait_s
+            )
+            batch = self._take_locked() if stale else None
+        if batch is None:
+            return False
+        self._run_batch(batch, reason="deadline", reraise=True)
+        return True
+
+    def _flush_loop(self) -> None:
+        """Deadline enforcement: sleep until the oldest row expires."""
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._wakeup.wait()
+                if self._closed:
+                    return
+                remaining = self._oldest + self.max_wait_s - self.clock()
+                while remaining > 0 and self._queue and not self._closed:
+                    self._wakeup.wait(timeout=remaining)
+                    if not self._queue:
+                        break  # a size/explicit flush beat the deadline
+                    remaining = self._oldest + self.max_wait_s - self.clock()
+                if self._closed:
+                    return
+                batch = self._take_locked()
+            if batch is not None:
+                # Errors are recorded on every handle (result() re-raises
+                # them); the daemon thread itself must survive them.
+                self._run_batch(batch, reason="deadline", reraise=False)
+
+    def _run_batch(
+        self,
+        batch: list[tuple[Any, PendingPrediction]],
+        reason: str,
+        reraise: bool,
+    ) -> None:
+        """Execute ``batch_fn`` outside the lock; account and deliver."""
         payloads = [payload for payload, _ in batch]
         try:
             results = self.batch_fn(payloads)
@@ -168,17 +371,31 @@ class MicroBatcher:
                     f"{len(payloads)} payloads"
                 )
         except BaseException as error:
-            # The flush trigger's caller sees the raise; every co-batched
-            # handle records it so its result() re-raises too.
+            with self._lock:
+                self.stats.failed_flushes += 1
+                self.stats.rows_failed += len(payloads)
+                kind = type(error).__name__
+                self.stats.failure_reasons[kind] = (
+                    self.stats.failure_reasons.get(kind, 0) + 1
+                )
+            # The flush trigger's caller sees the raise (when there is
+            # one); every co-batched handle records it so its result()
+            # re-raises too.
             for _, pending in batch:
                 pending._fail(error)
-            raise
+            with self._delivered:
+                self._delivered.notify_all()
+            if reraise:
+                raise
+            return
         for (_, pending), result in zip(batch, results):
             pending._resolve(result)
-        self.stats.flushes += 1
-        self.stats.rows_flushed += len(payloads)
-        self.stats.max_batch = max(self.stats.max_batch, len(payloads))
-        self.stats.flush_reasons[reason] = (
-            self.stats.flush_reasons.get(reason, 0) + 1
-        )
-        return len(payloads)
+        with self._delivered:
+            self._delivered.notify_all()
+        with self._lock:
+            self.stats.flushes += 1
+            self.stats.rows_flushed += len(payloads)
+            self.stats.max_batch = max(self.stats.max_batch, len(payloads))
+            self.stats.flush_reasons[reason] = (
+                self.stats.flush_reasons.get(reason, 0) + 1
+            )

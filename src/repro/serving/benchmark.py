@@ -11,11 +11,21 @@ label-valued request stream through two paths:
 - **batched** — ``submit`` onto the micro-batcher, which coalesces rows
   into vectorized predict calls.
 
-Used by ``repro serve-bench`` and ``benchmarks/bench_serving_throughput.py``.
+:func:`concurrent_serving_throughput` adds the multi-threaded
+counterpart: an open-loop load generator with K client threads drives
+the thread-safe serving runtime, comparing the per-request single-worker
+baseline against the micro-batched worker-pool configurations and
+verifying the concurrent predictions are identical to a single-threaded
+run of the same stream.
+
+Used by ``repro serve-bench``, ``benchmarks/bench_serving_throughput.py``
+and ``benchmarks/bench_serving_concurrency.py``.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -157,4 +167,224 @@ def serving_throughput(
 
         seconds = _measure(run_batched)
         report.rates[(strategy.name, "batched")] = rows / seconds
+    return report
+
+
+# ----------------------------------------------------------------------
+# Concurrent serving: open-loop load generation over K client threads
+# ----------------------------------------------------------------------
+@dataclass
+class ConcurrencyReport:
+    """Throughput of the concurrent runtime per worker count.
+
+    ``baseline_rows_per_s`` is the single-worker baseline: the same K
+    client threads, but each request served one at a time through the
+    per-request path (no cross-request batching, one predict thread) —
+    the throughput a naive thread-safe server would sustain.  ``rates``
+    maps each worker-pool size to the micro-batched runtime's rate.
+    ``identical`` records whether every concurrent run's predictions
+    matched the single-threaded reference row for row.
+    """
+
+    dataset: str
+    model_key: str
+    strategy: str
+    rows: int
+    batch_size: int
+    clients: int
+    max_wait_s: float
+    cpu_count: int
+    baseline_rows_per_s: float = 0.0
+    rates: dict[int, float] = field(default_factory=dict)
+    mean_batch_rows: dict[int, float] = field(default_factory=dict)
+    identical: bool = True
+
+    def speedup(self, workers: int) -> float | None:
+        """Concurrent-runtime throughput over the single-worker baseline."""
+        rate = self.rates.get(workers)
+        if rate is None or not self.baseline_rows_per_s:
+            return None
+        return rate / self.baseline_rows_per_s
+
+    def render(self) -> str:
+        """Human-readable table of the measured rates."""
+        lines = [
+            f"Concurrent serving: {self.dataset}/{self.model_key} "
+            f"({self.strategy}), {self.rows} requests, "
+            f"{self.clients} client threads, micro-batch size "
+            f"{self.batch_size}, {self.cpu_count} CPU(s)",
+            f"{'configuration':24s} {'rows/s':>12s} {'mean batch':>11s} "
+            f"{'speedup':>8s}",
+            f"{'per-request, 1 worker':24s} {self.baseline_rows_per_s:12.0f} "
+            f"{1.0:11.1f} {'1.0x':>8s}",
+        ]
+        for workers in sorted(self.rates):
+            lines.append(
+                f"{f'batched, {workers} worker(s)':24s} "
+                f"{self.rates[workers]:12.0f} "
+                f"{self.mean_batch_rows.get(workers, 0.0):11.1f} "
+                f"{f'{self.speedup(workers):.1f}x':>8s}"
+            )
+        lines.append(
+            "concurrent predictions identical to single-threaded: "
+            f"{self.identical}"
+        )
+        return "\n".join(lines)
+
+
+def _drive_clients(
+    server: PredictionServer,
+    requests: list[dict],
+    clients: int,
+    batched: bool,
+    arrival_rate: float | None = None,
+    result_timeout: float = 60.0,
+) -> tuple[float, list]:
+    """Replay ``requests`` through ``server`` from ``clients`` threads.
+
+    The stream is dealt round-robin across client threads.  Arrival is
+    open-loop: with ``arrival_rate`` set (aggregate requests/second)
+    each client submits on a fixed schedule independent of completions;
+    with ``None`` clients submit as fast as they can (the unbounded-rate
+    limit, i.e. a saturation measurement).  Returns the wall-clock
+    seconds from the start barrier until every prediction resolved, and
+    the predictions in stream order.
+    """
+    if arrival_rate is not None and arrival_rate <= 0:
+        raise ValueError(
+            f"arrival_rate must be positive (requests/s), got {arrival_rate}"
+        )
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    results: list = [None] * len(requests)
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(clients + 1)
+    interval = (
+        None if arrival_rate is None else clients / arrival_rate
+    )
+
+    def client(offset: int) -> None:
+        indexes = range(offset, len(requests), clients)
+        try:
+            barrier.wait()
+            started = time.monotonic()
+            if batched:
+                handles = []
+                for k, i in enumerate(indexes):
+                    if interval is not None:
+                        delay = started + k * interval - time.monotonic()
+                        if delay > 0:
+                            time.sleep(delay)
+                    handles.append((i, server.submit(requests[i])))
+                for i, handle in handles:
+                    results[i] = handle.result(timeout=result_timeout)
+            else:
+                for k, i in enumerate(indexes):
+                    if interval is not None:
+                        delay = started + k * interval - time.monotonic()
+                        if delay > 0:
+                            time.sleep(delay)
+                    results[i] = server.predict_one(requests[i])
+        except BaseException as error:  # surfaced to the caller below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=client, args=(offset,), daemon=True)
+        for offset in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return seconds, results
+
+
+def concurrent_serving_throughput(
+    dataset: SplitDataset,
+    model_key: str = "dt_gini",
+    rows: int = 4000,
+    batch_size: int = 64,
+    clients: int = 8,
+    worker_counts: tuple[int, ...] = (1, 2, 4),
+    max_wait_s: float = 0.002,
+    arrival_rate: float | None = None,
+    scale=None,
+    strategy: JoinStrategy | None = None,
+) -> ConcurrencyReport:
+    """Measure the concurrent serving runtime under K client threads.
+
+    Fits one pipeline (NoJoin by default — the paper's serving payoff),
+    computes a single-threaded reference prediction for the whole
+    request stream, then drives the same stream concurrently through
+
+    - the single-worker baseline: ``predict_one`` per request from
+      every client thread (no cross-request coalescing), and
+    - the micro-batched runtime at each ``worker_counts`` entry:
+      clients ``submit`` onto the shared thread-safe batcher, whose
+      background deadline flusher and worker pool coalesce and shard
+      the cross-client batches.
+
+    Every concurrent run's predictions are compared against the
+    reference; ``report.identical`` is the conjunction.
+    """
+    from repro.experiments.runner import fit_pipeline
+
+    if arrival_rate is not None and arrival_rate <= 0:
+        # Fail before the pipeline fit and baseline run, not after.
+        raise ValueError(
+            f"arrival_rate must be positive (requests/s), got {arrival_rate}"
+        )
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if strategy is None:
+        strategy = no_join_strategy()
+    pipeline = fit_pipeline(dataset, model_key, strategy, scale=scale)
+    artifact = artifact_from_pipeline(pipeline, dataset.schema)
+
+    def fresh_server(**kwargs) -> PredictionServer:
+        return PredictionServer(
+            artifact, dataset.schema, max_batch_size=batch_size, **kwargs
+        )
+
+    reference_server = fresh_server(max_wait_s=None, background_flush=False)
+    requests = _request_stream(reference_server, dataset, rows)
+    reference = reference_server.predict_batch(requests)
+
+    report = ConcurrencyReport(
+        dataset=dataset.name,
+        model_key=model_key,
+        strategy=strategy.name,
+        rows=rows,
+        batch_size=batch_size,
+        clients=clients,
+        max_wait_s=max_wait_s,
+        cpu_count=os.cpu_count() or 1,
+    )
+
+    baseline = fresh_server(max_wait_s=None, background_flush=False)
+    baseline.predict_one(requests[0])  # warm caches off the clock
+    seconds, results = _drive_clients(
+        baseline, requests, clients, batched=False, arrival_rate=arrival_rate
+    )
+    report.baseline_rows_per_s = rows / seconds
+    report.identical &= results == reference
+
+    for workers in worker_counts:
+        with fresh_server(workers=workers, max_wait_s=max_wait_s) as server:
+            server.predict_one(requests[0])  # warm caches off the clock
+            seconds, results = _drive_clients(
+                server,
+                requests,
+                clients,
+                batched=True,
+                arrival_rate=arrival_rate,
+            )
+            report.rates[workers] = rows / seconds
+            report.mean_batch_rows[workers] = server.stats().mean_batch_rows
+            report.identical &= results == reference
     return report

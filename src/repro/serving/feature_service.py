@@ -26,6 +26,7 @@ path, however large the FK domains.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
@@ -42,11 +43,17 @@ from repro.relational.table import Table
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction accounting for the dimension-index cache."""
+    """Hit/miss/eviction accounting for the dimension-index cache.
+
+    ``builds`` counts actual index constructions; under concurrent
+    access it can be smaller than ``misses`` because racing threads
+    that miss on the same cold dimension share one build.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    builds: int = 0
 
     @property
     def lookups(self) -> int:
@@ -74,13 +81,22 @@ class _DimensionIndex:
 
 
 class DimensionIndexCache:
-    """An LRU cache of per-dimension join indexes.
+    """A thread-safe LRU cache of per-dimension join indexes.
 
     Capacity is bounded so a server fronting a schema with many (or
     large) dimensions can cap resident index memory; entries rebuild
     transparently on re-access.  With the default capacity of 8 every
     dimension of the paper's seven datasets stays resident and the cache
     degenerates to "compute once".
+
+    Any number of threads may call :meth:`get` concurrently.  The LRU
+    map and statistics sit behind one lock; each cold dimension
+    additionally gets a per-entry *build lock*, so when several request
+    threads race on the same unbuilt dimension exactly one of them
+    builds the index (outside the main lock — a slow build never blocks
+    hits on other dimensions) and the rest wait for it and share the
+    result.  Entries are immutable once published, so an entry evicted
+    while another thread still gathers from it stays valid.
     """
 
     def __init__(self, schema: StarSchema, capacity: int = 8):
@@ -89,32 +105,52 @@ class DimensionIndexCache:
         self.schema = schema
         self.capacity = capacity
         self.stats = CacheStats()
+        self._lock = threading.Lock()
         self._entries: OrderedDict[str, _DimensionIndex] = OrderedDict()
+        self._build_locks: dict[str, threading.Lock] = {}
 
     def get(self, name: str) -> _DimensionIndex:
         """Fetch (building if needed) the index state of dimension ``name``."""
-        entry = self._entries.get(name)
-        if entry is not None:
-            self.stats.hits += 1
-            self._entries.move_to_end(name)
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(name)
+                return entry
+            self.stats.misses += 1
+            build_lock = self._build_locks.get(name)
+            if build_lock is None:
+                build_lock = self._build_locks[name] = threading.Lock()
+        with build_lock:
+            with self._lock:
+                entry = self._entries.get(name)
+                if entry is not None:
+                    # Another thread finished the build while we waited.
+                    self._entries.move_to_end(name)
+                    return entry
+            entry = self._build(name)
+            with self._lock:
+                self.stats.builds += 1
+                self._entries[name] = entry
+                if len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+                self._build_locks.pop(name, None)
             return entry
-        self.stats.misses += 1
+
+    def _build(self, name: str) -> _DimensionIndex:
         dim = self.schema.dimension(name)
-        entry = _DimensionIndex(
+        return _DimensionIndex(
             row_of_code=dimension_row_index(self.schema, name),
             feature_codes={
                 feature: dim.column(feature).codes
                 for feature in self.schema.foreign_features(name)
             },
         )
-        self._entries[name] = entry
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        return entry
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 class FeatureService:

@@ -14,14 +14,26 @@ artifact's strategy, and exposes three serving styles:
 Requests are plain ``{fact column: label}`` mappings — the shape a fact
 row has *before* any join, which is the whole point: under a NoJoin
 artifact the server answers without touching a single dimension table.
-Request counters and latency accounting are kept per server and
-surfaced via :meth:`PredictionServer.stats`.
+
+The server is thread-safe end to end: any number of request threads may
+call the three paths concurrently.  Request counters and latency
+accounting are guarded by a lock, the micro-batcher is the thread-safe
+:class:`~repro.serving.batcher.MicroBatcher` (with a background
+deadline flusher unless ``background_flush=False``), and the dimension
+index cache builds each cold entry exactly once however many threads
+race on it.  With ``workers > 1`` every flushed micro-batch is sharded
+into contiguous chunks predicted concurrently on a worker pool; the
+predict kernels are read-only over the fitted model, and chunking never
+changes per-row results, so concurrent predictions are identical to
+single-threaded ones.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Mapping, Sequence
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -48,6 +60,9 @@ class ServerStats:
     cache_hits: int
     cache_misses: int
     cache_hit_rate: float
+    failed_flushes: int = 0
+    rows_failed: int = 0
+    workers: int = 1
 
     @property
     def mean_latency_ms(self) -> float:
@@ -63,7 +78,8 @@ class ServerStats:
             f"predict_calls={self.predict_calls} "
             f"mean_latency={self.mean_latency_ms:.3f}ms "
             f"mean_batch={self.mean_batch_rows:.1f} "
-            f"cache_hit_rate={self.cache_hit_rate:.1%}"
+            f"cache_hit_rate={self.cache_hit_rate:.1%} "
+            f"workers={self.workers} failed_flushes={self.failed_flushes}"
         )
 
 
@@ -84,6 +100,16 @@ class PredictionServer:
         Dimension-index cache capacity of the feature service.
     max_batch_size, max_wait_s:
         Micro-batcher configuration for the ``submit`` path.
+    workers:
+        Predict threads per flushed micro-batch.  ``1`` (the default)
+        predicts in the flushing thread; ``N > 1`` shards each batch
+        into up to ``N`` contiguous chunks run on a thread pool.  Size
+        the pool to the core count — the assembly/predict kernels are
+        numpy-heavy and release the GIL in their inner loops, so extra
+        workers beyond the cores only add scheduling overhead.
+    background_flush:
+        Passed to the :class:`MicroBatcher`; set false for
+        deterministic tests that control flushing explicitly.
     """
 
     def __init__(
@@ -94,11 +120,16 @@ class PredictionServer:
         max_batch_size: int = 64,
         max_wait_s: float | None = 0.005,
         validate_fingerprint: bool = True,
+        workers: int = 1,
+        background_flush: bool = True,
     ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         if validate_fingerprint:
             artifact.check_schema(schema)
         self.artifact = artifact
         self.schema = schema
+        self.workers = workers
         self.features = FeatureService(
             schema, artifact.strategy, cache_capacity=cache_capacity
         )
@@ -108,11 +139,20 @@ class PredictionServer:
                 f"{list(self.features.feature_names)} but the artifact was "
                 f"trained on {list(artifact.feature_names)}"
             )
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="predict-worker"
+            )
+            if workers > 1
+            else None
+        )
         self.batcher = MicroBatcher(
             self._predict_encoded,
             max_batch_size=max_batch_size,
             max_wait_s=max_wait_s,
+            background_flush=background_flush,
         )
+        self._stats_lock = threading.Lock()
         self._requests = 0
         self._rows = 0
         self._predict_calls = 0
@@ -124,19 +164,19 @@ class PredictionServer:
     # ------------------------------------------------------------------
     def predict_one(self, row: Mapping[str, object]) -> object:
         """Predict a single request row immediately (low-latency path)."""
-        self._requests += 1
+        self._count_request()
         return self._predict_encoded([self.features.encode_requests([row])])[0]
 
     def predict_batch(self, rows: Sequence[Mapping[str, object]]) -> list:
         """Predict a caller-assembled batch of request rows."""
         if not rows:
             return []
-        self._requests += 1
+        self._count_request()
         return self._predict_encoded([self.features.encode_requests(rows)])
 
     def predict_table(self, fact_rows: Table) -> list:
         """Predict for pre-encoded rows shaped like the fact table."""
-        self._requests += 1
+        self._count_request()
         codes = {
             column: fact_rows.codes(column)
             for column in self.features.required_columns
@@ -144,8 +184,13 @@ class PredictionServer:
         return self._predict_encoded([codes])
 
     def submit(self, row: Mapping[str, object]) -> PendingPrediction:
-        """Queue one row on the micro-batcher (high-throughput path)."""
-        self._requests += 1
+        """Queue one row on the micro-batcher (high-throughput path).
+
+        Safe to call from any number of request threads; encoding runs
+        in the calling thread, the batch prediction wherever the flush
+        trigger fires (submitter, deadline flusher, or worker pool).
+        """
+        self._count_request()
         return self.batcher.submit(self.features.encode_requests([row]))
 
     def flush(self) -> int:
@@ -156,37 +201,78 @@ class PredictionServer:
         """Flush the micro-batcher if its wait deadline expired."""
         return self.batcher.poll()
 
+    def close(self) -> None:
+        """Drain the batcher, stop its flusher, and shut the pool down."""
+        self.batcher.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "PredictionServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _predict_encoded(
-        self, payloads: Sequence[Mapping[str, np.ndarray]]
-    ) -> list:
-        """Assemble and predict a batch of encoded column-dicts.
+    def _count_request(self) -> None:
+        with self._stats_lock:
+            self._requests += 1
 
-        Payloads are concatenated into one matrix, predicted in a single
-        vectorized call, and the decoded labels split back per payload
-        row — this is the function the micro-batcher amortises.
-        """
+    def _merge(
+        self, payloads: Sequence[Mapping[str, np.ndarray]]
+    ) -> Mapping[str, np.ndarray]:
         if len(payloads) == 1:
-            merged = payloads[0]
-        else:
-            merged = {
-                column: np.concatenate(
-                    [np.asarray(p[column]) for p in payloads]
-                )
-                for column in self.features.required_columns
-            }
+            return payloads[0]
+        return {
+            column: np.concatenate(
+                [np.asarray(p[column]) for p in payloads]
+            )
+            for column in self.features.required_columns
+        }
+
+    def _predict_merged(self, merged: Mapping[str, np.ndarray]) -> list:
+        """Assemble and predict one merged column-dict chunk."""
         started = time.perf_counter()
         X = self.features.assemble(merged)
         assembled = time.perf_counter()
         codes = self.artifact.predict_codes(X)
         finished = time.perf_counter()
-        self._assemble_seconds += assembled - started
-        self._predict_seconds += finished - assembled
-        self._predict_calls += 1
-        self._rows += X.n_rows
+        with self._stats_lock:
+            self._assemble_seconds += assembled - started
+            self._predict_seconds += finished - assembled
+            self._predict_calls += 1
+            self._rows += X.n_rows
         return self.artifact.decode_labels(codes)
+
+    def _predict_encoded(
+        self, payloads: Sequence[Mapping[str, np.ndarray]]
+    ) -> list:
+        """Assemble and predict a batch of encoded column-dicts.
+
+        With one worker the payloads are concatenated into one matrix
+        and predicted in a single vectorized call.  With ``workers > 1``
+        the payload list is split into contiguous chunks predicted
+        concurrently; per-row results are independent of chunk
+        boundaries, so the output is identical either way, in
+        submission order.
+        """
+        n_chunks = 1 if self._pool is None else min(self.workers, len(payloads))
+        if n_chunks <= 1:
+            return self._predict_merged(self._merge(payloads))
+        bounds = np.linspace(0, len(payloads), n_chunks + 1, dtype=int)
+        futures = [
+            self._pool.submit(
+                self._predict_merged, self._merge(payloads[lo:hi])
+            )
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        results: list = []
+        for future in futures:
+            results.extend(future.result())
+        return results
 
     # ------------------------------------------------------------------
     # Introspection
@@ -195,18 +281,22 @@ class PredictionServer:
         """Snapshot request counters, latency and cache accounting."""
         cache = self.features.cache.stats
         batcher = self.batcher.stats
-        return ServerStats(
-            requests=self._requests,
-            rows=self._rows,
-            predict_calls=self._predict_calls,
-            assemble_seconds=self._assemble_seconds,
-            predict_seconds=self._predict_seconds,
-            batches_flushed=batcher.flushes,
-            mean_batch_rows=batcher.mean_batch,
-            cache_hits=cache.hits,
-            cache_misses=cache.misses,
-            cache_hit_rate=cache.hit_rate,
-        )
+        with self._stats_lock:
+            return ServerStats(
+                requests=self._requests,
+                rows=self._rows,
+                predict_calls=self._predict_calls,
+                assemble_seconds=self._assemble_seconds,
+                predict_seconds=self._predict_seconds,
+                batches_flushed=batcher.flushes,
+                mean_batch_rows=batcher.mean_batch,
+                cache_hits=cache.hits,
+                cache_misses=cache.misses,
+                cache_hit_rate=cache.hit_rate,
+                failed_flushes=batcher.failed_flushes,
+                rows_failed=batcher.rows_failed,
+                workers=self.workers,
+            )
 
     def __repr__(self) -> str:
         return (

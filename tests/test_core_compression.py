@@ -229,3 +229,74 @@ class TestForeignFeatureSmoother:
         X = CategoricalMatrix(np.array([[1], [2]]), (3,), ("FK",))
         smoothed = smoother.smooth_feature(X, "FK")
         assert smoothed.column(0).tolist() == [0, 2]
+
+    def test_vectorized_fit_attains_minimum_l0_distance(self):
+        """Regression oracle for the chunked-broadcast fit: every
+        unseen level must map to a seen level at the true minimum l0
+        distance (the property the per-level Python loop guaranteed)."""
+        rng = np.random.default_rng(7)
+        n_levels, d_r = 120, 4
+        xr = rng.integers(0, 3, size=(n_levels, d_r))
+        train = rng.choice(n_levels, size=25, replace=False)
+        smoother = ForeignFeatureSmoother(xr, seed=1).fit(
+            train, n_levels=n_levels
+        )
+        seen = np.zeros(n_levels, dtype=bool)
+        seen[train] = True
+        for level in np.flatnonzero(~seen):
+            assigned = smoother.mapping_[level]
+            assert seen[assigned]
+            distances = (xr[seen] != xr[level]).sum(axis=1)
+            assert (xr[assigned] != xr[level]).sum() == distances.min()
+        # Seen levels always map to themselves.
+        assert (smoother.mapping_[train] == train).all()
+
+    def test_fit_is_vectorized_not_per_level(self):
+        """Regression: fit used to run a Python loop drawing one random
+        tie-break per unseen level — O(unseen) generator calls that at
+        |D_FK| >= 1e5 dwarfed model training.  The chunked-broadcast fit
+        must touch the generator O(chunks) times, not O(unseen)."""
+
+        class CountingGenerator(np.random.Generator):
+            calls = 0
+
+            def random(self, *args, **kwargs):
+                CountingGenerator.calls += 1
+                return super().random(*args, **kwargs)
+
+            def choice(self, *args, **kwargs):
+                CountingGenerator.calls += 1
+                return super().choice(*args, **kwargs)
+
+        rng = np.random.default_rng(0)
+        n_levels = 600
+        xr = rng.integers(0, 3, size=(n_levels, 3))
+        train = np.arange(10)  # 590 unseen levels
+        counting = CountingGenerator(np.random.PCG64(0))
+        ForeignFeatureSmoother(xr, seed=counting).fit(
+            train, n_levels=n_levels
+        )
+        assert CountingGenerator.calls <= 10  # not one call per level
+
+    def test_chunked_fit_matches_unchunked_on_unique_minima(self, monkeypatch):
+        """Chunk boundaries must not change the result: wherever the
+        nearest seen level is unique the mapping is deterministic, so a
+        tiny forced chunk budget must reproduce it exactly (ties are
+        broken randomly and may legitimately differ)."""
+        rng = np.random.default_rng(11)
+        n_levels, d_r = 80, 5
+        xr = rng.integers(0, 4, size=(n_levels, d_r))
+        train = rng.choice(n_levels, size=16, replace=False)
+        full = ForeignFeatureSmoother(xr, seed=0).fit(train, n_levels=n_levels)
+        monkeypatch.setattr(ForeignFeatureSmoother, "_CHUNK_BUDGET", 50)
+        chunked = ForeignFeatureSmoother(xr, seed=0).fit(
+            train, n_levels=n_levels
+        )
+        seen_levels = np.sort(train)
+        compared = 0
+        for level in np.flatnonzero(~full.seen_):
+            distances = (xr[seen_levels] != xr[level]).sum(axis=1)
+            if (distances == distances.min()).sum() == 1:
+                assert chunked.mapping_[level] == full.mapping_[level]
+                compared += 1
+        assert compared > 0  # the instance must actually exercise this

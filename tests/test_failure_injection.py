@@ -63,6 +63,28 @@ class TestDegenerateSchemas:
         assert report.decisions == []
         assert report.recommended_strategy().name == "JoinAll"
 
+    def test_advisor_on_empty_fact_reports_resolved_count(self):
+        """Regression: the error used to read 'train_rows must be
+        positive, got None' — formatting the unpassed argument instead
+        of the n_train actually resolved from the empty fact table."""
+        fact = Table(
+            "solo",
+            [
+                CategoricalColumn("y", Domain.boolean(), []),
+                CategoricalColumn("f", Domain.of_size(3), []),
+            ],
+        )
+        schema = StarSchema(fact=fact, target="y", dimensions=[])
+        with pytest.raises(ValueError, match=r"n_train=0") as excinfo:
+            advise(schema, "decision_tree")
+        assert "None" not in str(excinfo.value)
+        assert "fact table" in str(excinfo.value)
+
+    def test_advisor_bad_train_rows_blames_the_argument(self):
+        schema = _schema_without_dimensions()
+        with pytest.raises(ValueError, match="passed as train_rows"):
+            advise(schema, "decision_tree", train_rows=-3)
+
     def test_single_row_dimension(self):
         fk_domain = Domain.of_size(1)
         fact = Table(

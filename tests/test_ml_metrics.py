@@ -47,3 +47,29 @@ class TestConfusion:
     def test_nonbinary_raises(self):
         with pytest.raises(ValueError, match="binary"):
             confusion_counts(np.array([0, 2]), np.array([0, 1]))
+
+    def test_non_integral_labels_raise(self):
+        """0.5 used to slip past the min/max range check and be silently
+        dropped from every cell; the bincount path rejects it."""
+        with pytest.raises(ValueError, match="binary"):
+            confusion_counts(np.array([0.0, 0.5]), np.array([0.0, 1.0]))
+
+    def test_bool_and_float_dtypes_count_correctly(self):
+        y = np.array([True, False, True, False])
+        p = np.array([1.0, 0.0, 0.0, 1.0])
+        assert confusion_counts(y, p).tolist() == [[1, 1], [1, 1]]
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=1, max_size=60),
+        st.integers(0, 2**32 - 1),
+    )
+    def test_single_bincount_pass_matches_masked_scans(self, labels, seed):
+        """Regression oracle: the bincount path equals the per-cell scan."""
+        y = np.array(labels)
+        p = np.random.default_rng(seed).integers(0, 2, size=y.size)
+        counts = confusion_counts(y, p)
+        expected = [
+            [int(np.sum((y == t) & (p == q))) for q in (0, 1)] for t in (0, 1)
+        ]
+        assert counts.tolist() == expected
+        assert counts.sum() == y.size

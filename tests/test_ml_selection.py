@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import NotFittedError
+from repro.errors import ModelSelectionError, NotFittedError
 from repro.ml import CategoricalNB, DecisionTreeClassifier, GridSearch
 from repro.ml.bias_variance import decompose
 from repro.ml.encoding import CategoricalMatrix
@@ -80,6 +80,38 @@ class TestGridSearch:
         search = GridSearch(CategoricalNB(), grid={"alpha": [1.0]})
         search.fit(X_tr, y_tr, X_val, y_val)
         assert search.results_[0].fit_seconds >= 0.0
+
+    def test_all_nan_scores_raise_naming_grid_points(self):
+        """Regression: an all-NaN grid used to leave best_model_ = None
+        silently; predict() then died with a bare AttributeError."""
+
+        class NaNScorer(CategoricalNB):
+            def score(self, X, y):
+                return float("nan")
+
+        X_tr, y_tr, X_val, y_val = _dataset(n=60)
+        search = GridSearch(NaNScorer(), grid={"alpha": [0.5, 2.0]})
+        with pytest.raises(ModelSelectionError) as excinfo:
+            search.fit(X_tr, y_tr, X_val, y_val)
+        message = str(excinfo.value)
+        assert "no usable model" in message
+        assert "0.5" in message and "2.0" in message  # names the grid points
+        assert not hasattr(search, "best_model_")
+
+    def test_single_nan_grid_point_is_skipped(self):
+        """One degenerate grid point must not poison the search."""
+
+        class FlakyScorer(CategoricalNB):
+            def score(self, X, y):
+                if self.alpha == 99.0:
+                    return float("nan")
+                return super().score(X, y)
+
+        X_tr, y_tr, X_val, y_val = _dataset(n=100)
+        search = GridSearch(FlakyScorer(), grid={"alpha": [99.0, 1.0]})
+        search.fit(X_tr, y_tr, X_val, y_val)
+        assert search.best_params_ == {"alpha": 1.0}
+        assert np.isfinite(search.best_validation_accuracy_)
 
 
 class TestBackwardSelection:

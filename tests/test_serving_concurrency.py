@@ -1,0 +1,234 @@
+"""Concurrent serving: many client threads, one server, same answers.
+
+The tier-1 concurrency coverage promised by the thread-safe runtime:
+
+- K threads × M submissions through ``PredictionServer.submit`` resolve
+  to exactly the values single-threaded execution gives;
+- a racing cold-cache start builds each dimension index exactly once;
+- a failing flush is visible in the server stats instead of silently
+  desynchronising the counters.
+
+Kept deliberately small (hundreds of rows, seconds of wall clock) so
+the suite stays tier-1; the CI stress job re-runs this file under
+``PYTHONDEVMODE=1`` with a hard timeout so a deadlocked flusher or
+worker pool fails the build instead of hanging it.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import join_all_strategy, no_join_strategy
+from repro.datasets import generate_real_world
+from repro.experiments import fit_pipeline, get_scale
+from repro.serving import DimensionIndexCache, PredictionServer, artifact_from_pipeline
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_real_world("yelp", n_fact=300, seed=0)
+
+
+@pytest.fixture(scope="module")
+def artifact(dataset):
+    pipeline = fit_pipeline(
+        dataset, "dt_gini", no_join_strategy(), scale=get_scale("smoke")
+    )
+    return artifact_from_pipeline(pipeline, dataset.schema)
+
+
+@pytest.fixture(scope="module")
+def joinall_artifact(dataset):
+    pipeline = fit_pipeline(
+        dataset, "dt_gini", join_all_strategy(), scale=get_scale("smoke")
+    )
+    return artifact_from_pipeline(pipeline, dataset.schema)
+
+
+def _label_rows(server, dataset, n):
+    fact = dataset.schema.fact
+    columns = server.features.required_columns
+    return [
+        {c: fact.domain(c).decode([fact.codes(c)[i]])[0] for c in columns}
+        for i in (dataset.test[np.arange(n) % dataset.test.size])
+    ]
+
+
+def _run_clients(n_threads, target):
+    """Start, join, and surface the first error of N client threads."""
+    errors = []
+
+    def wrapped(index):
+        try:
+            target(index)
+        except BaseException as error:  # re-raised in the main thread
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,), daemon=True)
+        for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60.0)
+    assert not any(t.is_alive() for t in threads), "client threads hung"
+    if errors:
+        raise errors[0]
+
+
+class TestConcurrentSubmit:
+    K = 6  # client threads
+    M = 40  # submissions per thread
+
+    def test_k_threads_get_single_threaded_answers(self, artifact, dataset):
+        reference_server = PredictionServer(
+            artifact, dataset.schema, max_wait_s=None, background_flush=False
+        )
+        rows = _label_rows(reference_server, dataset, self.K * self.M)
+        expected = reference_server.predict_batch(rows)
+
+        with PredictionServer(
+            artifact,
+            dataset.schema,
+            max_batch_size=16,
+            max_wait_s=0.002,
+            workers=4,
+        ) as server:
+            results = [None] * len(rows)
+
+            def client(thread_index):
+                indexes = range(
+                    thread_index * self.M, (thread_index + 1) * self.M
+                )
+                handles = [(i, server.submit(rows[i])) for i in indexes]
+                for i, handle in handles:
+                    results[i] = handle.result(timeout=30.0)
+
+            _run_clients(self.K, client)
+            stats = server.stats()
+
+        assert results == expected
+        assert stats.rows >= self.K * self.M
+        assert stats.failed_flushes == 0
+
+    def test_worker_pool_sharding_matches_unsharded(self, artifact, dataset):
+        """Chunk boundaries must never change per-row predictions."""
+        plain = PredictionServer(
+            artifact, dataset.schema, max_wait_s=None, background_flush=False
+        )
+        rows = _label_rows(plain, dataset, 23)
+        expected = plain.predict_batch(rows)
+        with PredictionServer(
+            artifact,
+            dataset.schema,
+            max_wait_s=None,
+            background_flush=False,
+            workers=3,
+            max_batch_size=1000,
+        ) as server:
+            handles = [server.submit(r) for r in rows]
+            server.flush()
+            assert [h.result() for h in handles] == expected
+            # The flush was sharded across the pool: one predict call
+            # per chunk, not one per batch.
+            assert server.stats().predict_calls == 3
+
+    def test_concurrent_predict_one_agrees(self, joinall_artifact, dataset):
+        """The low-latency path is thread-safe too (shared cache)."""
+        reference_server = PredictionServer(
+            joinall_artifact,
+            dataset.schema,
+            max_wait_s=None,
+            background_flush=False,
+        )
+        rows = _label_rows(reference_server, dataset, 32)
+        expected = reference_server.predict_batch(rows)
+        with PredictionServer(
+            joinall_artifact, dataset.schema, max_wait_s=None
+        ) as server:
+            results = [None] * len(rows)
+
+            def client(thread_index):
+                for i in range(thread_index, len(rows), 4):
+                    results[i] = server.predict_one(rows[i])
+
+            _run_clients(4, client)
+        assert results == expected
+
+
+class TestRacingColdCache:
+    def test_each_dimension_built_exactly_once(self, dataset, monkeypatch):
+        """K threads racing on a cold cache must share a single build."""
+        import repro.serving.feature_service as fs
+
+        n_threads = 8
+        build_calls = []
+        barrier = threading.Barrier(n_threads)
+        real_builder = fs.dimension_row_index
+
+        def slow_builder(schema, name):
+            build_calls.append(name)
+            # Widen the race window: every thread is already inside
+            # get() before the first build finishes.
+            threading.Event().wait(0.05)
+            return real_builder(schema, name)
+
+        monkeypatch.setattr(fs, "dimension_row_index", slow_builder)
+        cache = DimensionIndexCache(dataset.schema, capacity=8)
+        name = dataset.schema.dimension_names[0]
+        entries = []
+
+        def racer(_):
+            barrier.wait()
+            entries.append(cache.get(name))
+
+        _run_clients(n_threads, racer)
+        assert build_calls == [name]  # built once, not once per thread
+        assert cache.stats.builds == 1
+        assert cache.stats.misses >= 1
+        assert all(e is entries[0] for e in entries)  # one shared entry
+
+    def test_distinct_dimensions_build_concurrently(self, dataset):
+        cache = DimensionIndexCache(dataset.schema, capacity=8)
+        names = dataset.schema.dimension_names
+        barrier = threading.Barrier(len(names))
+
+        def racer(index):
+            barrier.wait()
+            cache.get(names[index])
+
+        _run_clients(len(names), racer)
+        assert cache.stats.builds == len(names)
+
+
+class TestFailureVisibility:
+    def test_failed_flush_shows_in_server_stats(
+        self, artifact, dataset, monkeypatch
+    ):
+        """Regression: a failing batch must surface in ServerStats."""
+        server = PredictionServer(
+            artifact, dataset.schema, max_wait_s=None, background_flush=False
+        )
+        rows = _label_rows(server, dataset, 2)
+        handles = [server.submit(r) for r in rows]
+
+        def explode(X):
+            raise RuntimeError("model meltdown")
+
+        monkeypatch.setattr(server.artifact, "predict_codes", explode)
+        with pytest.raises(RuntimeError, match="model meltdown"):
+            server.flush()
+        for handle in handles:
+            with pytest.raises(RuntimeError, match="model meltdown"):
+                handle.result()
+        stats = server.stats()
+        assert stats.failed_flushes == 1
+        assert stats.rows_failed == 2
+        assert stats.batches_flushed == 0
+        assert "failed_flushes=1" in str(stats)
+
+    def test_workers_must_be_positive(self, artifact, dataset):
+        with pytest.raises(ValueError, match="workers"):
+            PredictionServer(artifact, dataset.schema, workers=0)

@@ -108,9 +108,11 @@ class TestCacheAccounting:
         service.assemble_table(churn_schema.fact)
         stats = service.cache.stats
         assert stats.misses == 1 and stats.hits == 0
+        assert stats.builds == 1
         service.assemble_table(churn_schema.fact)
         service.assemble_table(churn_schema.fact)
         assert stats.misses == 1 and stats.hits == 2
+        assert stats.builds == 1  # never rebuilt while resident
         assert stats.hit_rate == pytest.approx(2 / 3)
 
     def test_lru_eviction(self):
@@ -120,6 +122,7 @@ class TestCacheAccounting:
         cache.get("D2")  # evicts D1
         cache.get("D1")  # rebuild
         assert cache.stats.misses == 3
+        assert cache.stats.builds == 3  # an evicted entry really rebuilds
         assert cache.stats.evictions == 2
         assert len(cache) == 1
 

@@ -97,6 +97,21 @@ class TestAccounting:
         stats = server.stats()
         assert stats.batches_flushed == 1
         assert stats.mean_batch_rows == 6
+        assert stats.workers == 1
+        assert stats.failed_flushes == 0
+
+    def test_context_manager_closes_runtime(self, artifact, dataset):
+        with PredictionServer(
+            artifact, dataset.schema, workers=2, max_wait_s=0.005
+        ) as server:
+            rows = _label_rows(server, dataset, 3)
+            handles = [server.submit(r) for r in rows]
+            assert [h.result(timeout=10.0) for h in handles] == [
+                server.predict_one(r) for r in rows
+            ]
+        # After close: the flusher is stopped and submissions are refused.
+        with pytest.raises(RuntimeError, match="closed"):
+            server.submit(rows[0])
 
 
 class TestGuards:
