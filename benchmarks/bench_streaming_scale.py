@@ -1,0 +1,91 @@
+"""Out-of-core vs in-memory training: peak memory as rows grow ~10x.
+
+Thin CLI over :func:`repro.streaming.streaming_scale_report` (see that
+module for methodology).  The claim being recorded: streaming peak
+memory is bounded by the shard size, so it stays flat while rows grow
+an order of magnitude — the regime where the in-memory path's
+materialise-everything footprint balloons toward OOM.  The in-memory
+run is measured up to ``--max-inmemory-rows`` and extrapolated above
+(linearly in rows, which is exactly how it scales).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_streaming_scale.py
+    # CI smoke: tiny sizes
+    PYTHONPATH=src python benchmarks/bench_streaming_scale.py \
+        --rows 2000 8000 --shard-rows 500 --max-inmemory-rows 2000 \
+        --max-iter 3 --out /tmp/bench_streaming_scale.json
+
+The committed ``BENCH_streaming_scale.json`` at the repo root records a
+full run (rows 20k -> 200k, 5k-row shards).  The script exits non-zero
+if the streaming peak fails the boundedness check (grows by more than
+``--bound-factor`` while rows grow ``row_growth``x).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.streaming import streaming_scale_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--rows",
+        type=int,
+        nargs="+",
+        default=[20_000, 60_000, 200_000],
+        help="fact-row counts to sweep (ascending)",
+    )
+    parser.add_argument("--shard-rows", type=int, default=5_000)
+    parser.add_argument(
+        "--model", choices=("lr_l1", "ann"), default="lr_l1"
+    )
+    parser.add_argument(
+        "--max-iter",
+        type=int,
+        default=8,
+        help="FISTA iteration cap (wall-time knob; memory is per-pass)",
+    )
+    parser.add_argument(
+        "--max-inmemory-rows",
+        type=int,
+        default=20_000,
+        help="skip the in-memory run above this many rows",
+    )
+    parser.add_argument(
+        "--bound-factor",
+        type=float,
+        default=2.0,
+        help="maximum allowed growth of the streaming peak",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_streaming_scale.json")
+    args = parser.parse_args(argv)
+
+    report = streaming_scale_report(
+        rows=args.rows,
+        shard_rows=args.shard_rows,
+        model_key=args.model,
+        max_iter=args.max_iter,
+        max_inmemory_rows=args.max_inmemory_rows,
+        seed=args.seed,
+    )
+    print(report.render())
+    path = report.to_json(args.out)
+    print(f"wrote {path}")
+    if not report.bounded(args.bound_factor):
+        print(
+            f"FAIL: streaming peak grew {report.streaming_growth():.2f}x "
+            f"(> {args.bound_factor}x) while rows grew "
+            f"{report.row_growth():.0f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

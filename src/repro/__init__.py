@@ -5,7 +5,7 @@ Classifiers?" studies whether key-foreign-key (KFK) joins that bring in
 foreign features can be skipped ("avoiding joins safely") when training
 decision trees, kernel SVMs, ANNs and other high-capacity classifiers.
 
-The package is organised in six layers:
+The package is organised in seven layers:
 
 - :mod:`repro.relational` — an in-memory relational substrate: categorical
   columns with closed domains, tables, star schemas with KFK constraints,
@@ -22,6 +22,10 @@ The package is organised in six layers:
   domain compression, and unseen-foreign-key smoothing.
 - :mod:`repro.experiments` — the experiment harness reproducing every
   table and figure in the paper's evaluation.
+- :mod:`repro.streaming` — out-of-core sharded training: bounded fact
+  shards from splits/populations/chunked CSVs, per-shard strategy
+  matrices, and a deterministic :class:`~repro.streaming.StreamingTrainer`
+  whose results are numerically equivalent to in-memory fits.
 - :mod:`repro.serving` — online inference: versioned model artifacts,
   a feature service with cached dimension indexes, micro-batched
   prediction, and the in-process :class:`~repro.serving.PredictionServer`.
@@ -36,7 +40,7 @@ from repro.errors import (
 )
 from repro.rng import ensure_rng
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Serving-layer names re-exported lazily so ``import repro`` stays light
 #: (resolving any of them pulls in numpy and the full model substrate).

@@ -6,6 +6,8 @@ first:
 - ``advise``      — join-safety advice for an emulated dataset.
 - ``stats``       — Table-1-style statistics for the emulated datasets.
 - ``run``         — one experiment cell (dataset × model × strategy).
+- ``fit``         — fit one model configuration, in memory or
+  out-of-core (``--stream`` with ``--shard-rows``/``--shards``).
 - ``simulate``    — a OneXr Monte Carlo sweep over the FK domain size.
 - ``usage``       — FK split-usage analysis of a fitted tree.
 - ``save-model``  — fit a pipeline and export it as a serving artifact.
@@ -37,9 +39,12 @@ from repro.datasets import (
 from repro.datasets.realworld import DATASET_ORDER
 from repro.experiments import (
     MODEL_REGISTRY,
+    STREAMABLE_MODELS,
     FigureSeries,
     get_scale,
     run_experiment,
+    run_inmemory_experiment,
+    run_streaming_experiment,
     sweep,
 )
 
@@ -83,6 +88,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--scale", choices=["smoke", "default", "paper"])
     p_run.add_argument("--seed", type=int, default=0)
+
+    p_fit = sub.add_parser(
+        "fit",
+        help="fit one model configuration, in memory or out-of-core",
+    )
+    p_fit.add_argument("dataset", choices=DATASET_ORDER)
+    p_fit.add_argument("model", choices=sorted(STREAMABLE_MODELS))
+    p_fit.add_argument(
+        "--strategy", choices=sorted(_STRATEGIES), default="NoJoin"
+    )
+    p_fit.add_argument(
+        "--stream",
+        action="store_true",
+        help="train out-of-core over bounded shards (repro.streaming)",
+    )
+    group = p_fit.add_mutually_exclusive_group()
+    group.add_argument(
+        "--shard-rows",
+        type=int,
+        default=None,
+        help="rows per shard for --stream (bounds peak memory)",
+    )
+    group.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="number of shards for --stream (alternative to --shard-rows)",
+    )
+    p_fit.add_argument("--scale", choices=["smoke", "default", "paper"])
+    p_fit.add_argument("--seed", type=int, default=0)
 
     p_usage = sub.add_parser(
         "usage", help="FK split-usage analysis of a fitted tree (Section 5)"
@@ -192,6 +227,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = run_experiment(
         dataset, args.model, strategy, scale=get_scale(args.scale)
     )
+    print(result)
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    # Usage errors exit before any dataset generation happens.
+    if not args.stream and (
+        args.shard_rows is not None or args.shards is not None
+    ):
+        print("error: --shard-rows/--shards require --stream", file=sys.stderr)
+        return 2
+    for name, value in (("--shard-rows", args.shard_rows),
+                        ("--shards", args.shards)):
+        if value is not None and value < 1:
+            print(f"error: {name} must be >= 1, got {value}", file=sys.stderr)
+            return 2
+    scale = get_scale(args.scale)
+    dataset = generate_real_world(
+        args.dataset, n_fact=scale.n_fact, seed=args.seed
+    )
+    strategy = _STRATEGIES[args.strategy]()
+    if args.stream:
+        result = run_streaming_experiment(
+            dataset,
+            args.model,
+            strategy,
+            shard_rows=args.shard_rows,
+            n_shards=args.shards,
+            scale=scale,
+            seed=args.seed,
+        )
+        shards = result.best_params
+        print(
+            f"streamed {shards['n_shards']} shard(s) of "
+            f"<= {shards['shard_rows']} rows"
+        )
+    else:
+        result = run_inmemory_experiment(
+            dataset, args.model, strategy, scale=scale, seed=args.seed
+        )
     print(result)
     return 0
 
@@ -339,6 +414,7 @@ _COMMANDS = {
     "advise": _cmd_advise,
     "stats": _cmd_stats,
     "run": _cmd_run,
+    "fit": _cmd_fit,
     "simulate": _cmd_simulate,
     "usage": _cmd_usage,
     "save-model": _cmd_save_model,

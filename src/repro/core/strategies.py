@@ -106,6 +106,29 @@ class JoinStrategy:
             y_test=dataset.labels("test"),
         )
 
+    def streaming_matrices(
+        self,
+        dataset: SplitDataset,
+        shard_rows: int | None = None,
+        n_shards: int | None = None,
+        split: str = "train",
+    ) -> "repro.streaming.StreamingMatrices":  # noqa: F821
+        """The out-of-core counterpart of :meth:`matrices`.
+
+        Returns a :class:`~repro.streaming.StreamingMatrices` over one
+        split, assembled shard by shard — each shard's matrix is exactly
+        the corresponding row block of what :meth:`matrices` would
+        build, but the full join is never materialised.
+        """
+        from repro.streaming import ShardedDataset, StreamingMatrices
+
+        return StreamingMatrices(
+            ShardedDataset.from_split(
+                dataset, shard_rows=shard_rows, n_shards=n_shards, split=split
+            ),
+            self,
+        )
+
 
 @dataclass
 class StrategyMatrices:

@@ -96,6 +96,61 @@ class ScenarioPopulation:
         """Sample ``n`` fact rows from the population."""
         raise NotImplementedError
 
+    def block_table(self, block: FactBlock) -> Table:
+        """Materialise one drawn block as a fact :class:`Table`.
+
+        Out-of-core training (:mod:`repro.streaming`) turns each drawn
+        block into a bounded fact-table shard with this; ``dataset``
+        uses the same assembly for the fully materialised case, so the
+        two paths cannot drift apart.
+        """
+        columns = [
+            CategoricalColumn(TARGET_NAME, Domain.boolean(), block.y),
+        ]
+        for j in range(self.d_s):
+            columns.append(
+                CategoricalColumn(
+                    f"Xs{j}", Domain.boolean(), block.xs_codes[:, j]
+                )
+            )
+        columns.append(
+            CategoricalColumn(FK_NAME, self.fk_domain, block.fk_codes)
+        )
+        return Table("S", columns)
+
+    def dimension_table(self) -> Table:
+        """The frozen dimension table ``R`` (shared by every draw)."""
+        return Table(
+            DIM_NAME,
+            [
+                CategoricalColumn(RID_NAME, self.fk_domain, np.arange(self.n_r)),
+                *self.dim_columns,
+            ],
+        )
+
+    def schema_skeleton(self) -> StarSchema:
+        """The population's star schema with an *empty* fact table.
+
+        Sharded training never holds all fact rows at once, yet the join
+        and encoding machinery needs the schema structure (constraints,
+        dimension contents, closed domains).  The skeleton provides
+        exactly that; fact rows arrive shard by shard via
+        :meth:`block_table`.
+        """
+        empty = FactBlock(
+            xs_codes=np.zeros((0, self.d_s), dtype=np.int64),
+            fk_codes=np.zeros(0, dtype=np.int64),
+            y=np.zeros(0, dtype=np.int64),
+            y_optimal=np.zeros(0, dtype=np.int64),
+        )
+        return StarSchema(
+            fact=self.block_table(empty),
+            target=TARGET_NAME,
+            dimensions=[
+                (self.dimension_table(), KFKConstraint(FK_NAME, DIM_NAME, RID_NAME))
+            ],
+        )
+
     def dataset(
         self,
         train: FactBlock,
@@ -104,30 +159,12 @@ class ScenarioPopulation:
     ) -> SplitDataset:
         """Assemble drawn blocks into a SplitDataset (rows in block order)."""
         combined = FactBlock.concatenate([train, validation, test])
-        columns = [
-            CategoricalColumn(TARGET_NAME, Domain.boolean(), combined.y),
-        ]
-        for j in range(self.d_s):
-            columns.append(
-                CategoricalColumn(
-                    f"Xs{j}", Domain.boolean(), combined.xs_codes[:, j]
-                )
-            )
-        columns.append(
-            CategoricalColumn(FK_NAME, self.fk_domain, combined.fk_codes)
-        )
-        fact = Table("S", columns)
-        dimension = Table(
-            DIM_NAME,
-            [
-                CategoricalColumn(RID_NAME, self.fk_domain, np.arange(self.n_r)),
-                *self.dim_columns,
-            ],
-        )
         schema = StarSchema(
-            fact=fact,
+            fact=self.block_table(combined),
             target=TARGET_NAME,
-            dimensions=[(dimension, KFKConstraint(FK_NAME, DIM_NAME, RID_NAME))],
+            dimensions=[
+                (self.dimension_table(), KFKConstraint(FK_NAME, DIM_NAME, RID_NAME))
+            ],
         )
         offsets = np.cumsum([0, train.n_rows, validation.n_rows])
         return SplitDataset(

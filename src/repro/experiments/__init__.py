@@ -31,11 +31,15 @@ from repro.experiments.fk_experiments import (
 from repro.experiments.reporting import AccuracyTable, FigureSeries
 from repro.experiments.runner import (
     MODEL_REGISTRY,
+    STREAMABLE_MODELS,
     FittedPipeline,
     ModelSpec,
     RunResult,
     fit_pipeline,
+    make_streaming_model,
     run_experiment,
+    run_inmemory_experiment,
+    run_streaming_experiment,
 )
 from repro.experiments.simulation import MonteCarloResult, run_monte_carlo, sweep
 
@@ -51,14 +55,18 @@ __all__ = [
     "PAPER",
     "RunResult",
     "SMOKE",
+    "STREAMABLE_MODELS",
     "Scale",
     "fit_pipeline",
     "fk_usage_across_datasets",
     "fk_usage_report",
     "get_scale",
+    "make_streaming_model",
     "run_compression_experiment",
     "run_experiment",
+    "run_inmemory_experiment",
     "run_monte_carlo",
     "run_smoothing_experiment",
+    "run_streaming_experiment",
     "sweep",
 ]

@@ -152,6 +152,17 @@ class CategoricalMatrix:
         """Width of the one-hot encoding (sum of domain sizes)."""
         return int(sum(self.n_levels))
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes: the codes plus any materialised one-hot cache.
+
+        Part of the ``shard_working_set_bytes`` the streaming scale
+        benchmark records — what training actually pins per shard, as
+        opposed to the ``n × onehot_width`` a dense encoding would cost.
+        """
+        cached = self._onehot_cache.nbytes if self._onehot_cache is not None else 0
+        return int(self.codes.nbytes + cached)
+
     def column(self, j: int) -> np.ndarray:
         """The code vector of feature ``j``."""
         return self.codes[:, j]

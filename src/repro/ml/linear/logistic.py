@@ -12,6 +12,17 @@ All matrix work goes through :mod:`repro.ml.sparse`: under the default
 ``engine="implicit"`` the margins are per-feature gathers of ``w`` and
 the gradient is a scatter-add into the active one-hot columns, so one
 FISTA iteration costs ``O(n·d)`` regardless of the encoded width.
+
+Because the logistic gradient is a sum over examples, FISTA streams:
+:meth:`L1LogisticRegression.fit_stream` runs the *exact* full-batch
+iteration while visiting the data as bounded shards, one pass per
+iteration, keeping only width-sized state between shards.  ``fit``
+itself delegates to ``fit_stream`` with the whole matrix as a single
+shard, so the in-memory and out-of-core paths share one code path and a
+single-shard streaming fit is bit-identical to an in-memory fit by
+construction.  :meth:`L1LogisticRegression.partial_fit` is the cheaper
+inexact alternative: it advances FISTA on one shard's data only, with
+the momentum restart that makes shard epochs stable.
 """
 
 from __future__ import annotations
@@ -63,6 +74,96 @@ def _lipschitz_bound(X, seed: int = 0, iterations: int = 30) -> float:
     return max(sigma / (4.0 * n), 1e-12)
 
 
+class _EncodingMemo:
+    """Size-1 encoding cache keyed on matrix object identity.
+
+    An in-memory stream (:class:`_SingleShardStream`) yields the *same*
+    :class:`CategoricalMatrix` object every pass, so its encoding is
+    built once — matching the pre-streaming cost of ``fit``.  Out-of-
+    core streams yield fresh shard objects each pass and re-encode, as
+    they must: holding every shard's encoding would unbound memory.
+    """
+
+    __slots__ = ("engine", "_X", "_encoded")
+
+    def __init__(self, engine: str):
+        self.engine = engine
+        self._X = None
+        self._encoded = None
+
+    def __call__(self, X: CategoricalMatrix):
+        if X is not self._X:
+            self._X = X
+            self._encoded = sparse.encode_features(X, self.engine)
+        return self._encoded
+
+
+def _lipschitz_bound_stream(
+    stream, encode: _EncodingMemo, seed: int = 0, iterations: int = 30
+) -> float:
+    """:func:`_lipschitz_bound` computed with one shard pass per power step.
+
+    ``X.T @ (X @ v)`` decomposes over row blocks as
+    ``Σ_s X_s.T @ (X_s @ v)``, so each power iteration streams the
+    shards once and keeps only width-sized state.  With a single shard
+    the arithmetic matches :func:`_lipschitz_bound` exactly.
+    """
+    n = int(stream.n_rows)
+    width = int(stream.onehot_width)
+    rng = ensure_rng(seed)
+    v = rng.normal(size=width)
+    norm = np.linalg.norm(v)
+    if norm == 0 or width == 0:
+        return 1.0
+    v /= norm
+    sigma = 1.0
+    for _ in range(iterations):
+        acc = np.zeros(width)
+        for X, _ in stream:
+            encoded = encode(X)
+            acc += sparse.rmatmul(encoded, sparse.matmul(encoded, v))
+        v = acc
+        norm = np.linalg.norm(v)
+        if norm == 0:
+            break
+        sigma = norm
+        v /= norm
+    return max(sigma / (4.0 * n), 1e-12)
+
+
+class _SingleShardStream:
+    """Adapts one in-memory ``(X, y)`` pair to the shard-stream protocol.
+
+    The protocol ``fit_stream`` consumes: ``n_rows`` (total examples),
+    ``n_features`` (categorical columns), ``onehot_width`` (encoded
+    width), and re-iterable ``__iter__`` yielding
+    ``(CategoricalMatrix, labels)`` shards in a stable order.
+    :class:`repro.streaming.StreamingMatrices` implements the same
+    protocol for out-of-core shard sources.
+    """
+
+    __slots__ = ("X", "y")
+
+    def __init__(self, X: CategoricalMatrix, y: np.ndarray):
+        self.X = X
+        self.y = y
+
+    @property
+    def n_rows(self) -> int:
+        return self.X.n_rows
+
+    @property
+    def n_features(self) -> int:
+        return self.X.n_features
+
+    @property
+    def onehot_width(self) -> int:
+        return self.X.onehot_width
+
+    def __iter__(self):
+        yield self.X, self.y
+
+
 class L1LogisticRegression(Estimator):
     """Binary logistic regression with an L1 penalty.
 
@@ -105,22 +206,158 @@ class L1LogisticRegression(Estimator):
         warm_start: tuple[np.ndarray, float] | None = None,
     ) -> "L1LogisticRegression":
         y = check_X_y(X, y)
+        return self.fit_stream(
+            _SingleShardStream(X, y), warm_start=warm_start
+        )
+
+    def fit_stream(
+        self,
+        stream,
+        warm_start: tuple[np.ndarray, float] | None = None,
+    ) -> "L1LogisticRegression":
+        """Fit with exact FISTA, visiting the data as bounded shards.
+
+        ``stream`` follows the shard-stream protocol (see
+        :class:`_SingleShardStream`): ``n_rows``, ``onehot_width`` and a
+        re-iterable ``__iter__`` of ``(CategoricalMatrix, labels)``
+        pairs in stable order.  Each FISTA iteration makes one pass over
+        the shards, accumulating the full-batch gradient; between shards
+        only width-sized state is held, so peak memory is bounded by the
+        largest shard regardless of ``n_rows``.  The iterates are the
+        full-batch ones — this is out-of-core execution, not an
+        approximate optimiser — and with a single shard the arithmetic
+        is bit-identical to :meth:`fit`.
+        """
         if self.lam < 0:
             raise ValueError(f"lam must be >= 0, got {self.lam}")
-        encoded = sparse.encode_features(X, self.engine)
-        n, d = encoded.shape
-        signed = np.where(y > 0, 1.0, -1.0)
+        sparse.check_engine(self.engine)
+        self._reset()  # a fresh fit owes nothing to earlier sessions
+        n = int(stream.n_rows)
+        if n == 0:
+            raise ValueError("cannot fit on zero examples")
+        width = int(stream.onehot_width)
         if warm_start is not None:
             w = warm_start[0].copy()
             b = float(warm_start[1])
         else:
-            w = np.zeros(d)
+            w = np.zeros(width)
             b = 0.0
-        L = _lipschitz_bound(encoded) + (0.25 if self.fit_intercept else 0.0)
+        encode = _EncodingMemo(self.engine)
+        L = _lipschitz_bound_stream(stream, encode) + (
+            0.25 if self.fit_intercept else 0.0
+        )
         step = 1.0 / L
         z_w, z_b, t_acc = w.copy(), b, 1.0
         self.n_iter_ = 0
         for iteration in range(self.max_iter):
+            grad_w = np.zeros(width)
+            grad_b = 0.0
+            for X, y in stream:
+                encoded = encode(X)
+                signed = np.where(np.asarray(y) > 0, 1.0, -1.0)
+                margin = signed * (sparse.matmul(encoded, z_w) + z_b)
+                probs = _sigmoid(-margin)
+                residual = -(signed * probs) / n
+                grad_w += sparse.rmatmul(encoded, residual)
+                if self.fit_intercept:
+                    grad_b += residual.sum()
+            w_new = _soft_threshold(z_w - step * grad_w, step * self.lam)
+            b_new = z_b - step * grad_b
+            t_new = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t_acc * t_acc))
+            momentum = (t_acc - 1.0) / t_new
+            z_w = w_new + momentum * (w_new - w)
+            z_b = b_new + momentum * (b_new - b)
+            delta = np.abs(w_new - w).max() if width else abs(b_new - b)
+            w, b, t_acc = w_new, b_new, t_new
+            self.n_iter_ = iteration + 1
+            if delta < self.tol:
+                break
+        self.coef_ = w
+        self.intercept_ = b
+        self.n_features_ = int(stream.n_features)
+        return self
+
+    def _reset(self) -> None:
+        """Drop learned state so a new training session starts fresh.
+
+        Shared by ``fit``/``fit_stream`` and by
+        :class:`repro.streaming.StreamingTrainer`, whose incremental
+        mode drives :meth:`partial_fit` directly and must not silently
+        warm-start from an earlier session.
+        """
+        for attribute in (
+            "coef_", "intercept_", "n_features_", "n_iter_", "_momentum"
+        ):
+            if hasattr(self, attribute):
+                delattr(self, attribute)
+
+    def lipschitz_bound(self, X: CategoricalMatrix) -> float:
+        """The FISTA step-size bound for one data block.
+
+        Costs ~30 power-iteration passes over ``X``; it depends only on
+        the data, so callers that revisit the same shard across epochs
+        (:class:`repro.streaming.StreamingTrainer`'s incremental mode)
+        compute it once per shard and pass it to :meth:`partial_fit`.
+        """
+        encoded = sparse.encode_features(X, self.engine)
+        return _lipschitz_bound(encoded) + (0.25 if self.fit_intercept else 0.0)
+
+    def partial_fit(
+        self,
+        X: CategoricalMatrix,
+        y: np.ndarray,
+        n_iter: int = 1,
+        restart: bool = False,
+        lipschitz: float | None = None,
+    ) -> "L1LogisticRegression":
+        """Advance FISTA by ``n_iter`` iterations on one shard's data.
+
+        Unlike :meth:`fit_stream` — which computes exact full-batch
+        gradients by streaming every shard each iteration — this is the
+        cheap incremental scheme: each call optimises against the given
+        shard only, continuing from the current coefficients.  The first
+        call initialises from zeros.  ``restart=True`` resets the FISTA
+        momentum, the standard restart that keeps shard epochs stable
+        when consecutive shards pull the iterate in different
+        directions (:class:`repro.streaming.StreamingTrainer` restarts
+        at every epoch boundary).
+
+        ``lipschitz`` takes a precomputed :meth:`lipschitz_bound` for
+        this shard; omitted, it is re-estimated here (~30 extra passes
+        over the shard — worth caching when shards are revisited).
+        """
+        y = check_X_y(X, y)
+        if self.lam < 0:
+            raise ValueError(f"lam must be >= 0, got {self.lam}")
+        if n_iter < 1:
+            raise ValueError(f"n_iter must be >= 1, got {n_iter}")
+        encoded = sparse.encode_features(X, self.engine)
+        n, d = encoded.shape
+        if hasattr(self, "coef_"):
+            if self.coef_.shape[0] != d:
+                raise ValueError(
+                    f"shard encodes to width {d}, model has width "
+                    f"{self.coef_.shape[0]}; shards must share closed domains"
+                )
+            w = self.coef_
+            b = self.intercept_
+            z_w, z_b, t_acc = getattr(self, "_momentum", (w.copy(), b, 1.0))
+        else:
+            w = np.zeros(d)
+            b = 0.0
+            z_w, z_b, t_acc = w.copy(), b, 1.0
+            self.n_iter_ = 0
+        if restart:
+            z_w, z_b, t_acc = w.copy(), b, 1.0
+        signed = np.where(y > 0, 1.0, -1.0)
+        if lipschitz is None:
+            lipschitz = _lipschitz_bound(encoded) + (
+                0.25 if self.fit_intercept else 0.0
+            )
+        elif lipschitz <= 0:
+            raise ValueError(f"lipschitz must be > 0, got {lipschitz}")
+        step = 1.0 / lipschitz
+        for _ in range(n_iter):
             margin = signed * (sparse.matmul(encoded, z_w) + z_b)
             probs = _sigmoid(-margin)
             residual = -(signed * probs) / n
@@ -132,15 +369,26 @@ class L1LogisticRegression(Estimator):
             momentum = (t_acc - 1.0) / t_new
             z_w = w_new + momentum * (w_new - w)
             z_b = b_new + momentum * (b_new - b)
-            delta = np.abs(w_new - w).max() if d else abs(b_new - b)
             w, b, t_acc = w_new, b_new, t_new
-            self.n_iter_ = iteration + 1
-            if delta < self.tol:
-                break
+            self.n_iter_ += 1
         self.coef_ = w
         self.intercept_ = b
+        self._momentum = (z_w, z_b, t_acc)
         self.n_features_ = X.n_features
         return self
+
+    def loss(self, X: CategoricalMatrix, y: np.ndarray) -> float:
+        """The penalised objective on ``(X, y)`` at the fitted weights.
+
+        ``(1/n) Σ log(1 + exp(-s_i f(x_i))) + lam ||w||_1`` with the
+        bias unpenalised — the quantity the streaming-equivalence tests
+        compare across shard layouts.
+        """
+        check_fitted(self, "coef_")
+        y = np.asarray(y)
+        margins = np.where(y > 0, 1.0, -1.0) * self.decision_function(X)
+        data_loss = float(np.mean(np.logaddexp(0.0, -margins)))
+        return data_loss + self.lam * float(np.abs(self.coef_).sum())
 
     def decision_function(self, X: CategoricalMatrix) -> np.ndarray:
         """Linear scores ``Xw + b``."""

@@ -11,6 +11,15 @@ weight gradient scatter-adds each batch row's delta into the one-hot
 columns it activates (:mod:`repro.ml.sparse`), so neither pass touches
 the ``sum(n_levels)``-wide zero structure.  Label one-hot targets are
 built per minibatch rather than materialised for the full training set.
+
+Training is resumable: :meth:`MLPClassifier.partial_fit` runs one
+shuffled minibatch epoch over whatever rows it is handed, carrying the
+weights, Adam moments and RNG stream across calls.  ``fit`` is exactly
+``epochs`` such calls on the full matrix, so an out-of-core trainer
+(:class:`repro.streaming.StreamingTrainer`) that feeds the same rows as
+one shard reproduces ``fit`` bit for bit, and multi-shard training is
+plain minibatch SGD whose "batches per epoch" happen to arrive grouped
+by shard.
 """
 
 from __future__ import annotations
@@ -85,8 +94,7 @@ class MLPClassifier(Estimator):
         self.random_state = random_state
         self.engine = engine
 
-    def fit(self, X: CategoricalMatrix, y: np.ndarray) -> "MLPClassifier":
-        y = check_X_y(X, y)
+    def _validate_params(self) -> None:
         if any(h < 1 for h in self.hidden_sizes):
             raise ValueError(f"hidden sizes must be positive, got {self.hidden_sizes}")
         if self.l2 < 0:
@@ -95,35 +103,107 @@ class MLPClassifier(Estimator):
             raise ValueError(f"epochs must be >= 1, got {self.epochs}")
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
-        rng = ensure_rng(self.random_state)
-        encoded = sparse.encode_features(X, self.engine)
-        n, d = encoded.shape
-        self.n_classes_ = max(int(y.max()) + 1, 2)
+
+    def _reset(self) -> None:
+        """Drop learned state so ``fit`` starts fresh on a reused object."""
+        for attribute in ("weights_", "biases_", "loss_curve_", "n_classes_",
+                          "n_features_"):
+            if hasattr(self, attribute):
+                delattr(self, attribute)
+        self._rng = None
+        self._optimizer = None
+
+    def _initialize(self, X: CategoricalMatrix, n_classes: int) -> None:
+        """Allocate weights, optimiser and RNG for the first data seen."""
+        self._rng = ensure_rng(self.random_state)
+        d = X.onehot_width  # both engines encode to the same width
+        self.n_classes_ = int(n_classes)
         self.n_features_ = X.n_features
         sizes = [d, *self.hidden_sizes, self.n_classes_]
         # He initialisation suits ReLU layers.
         self.weights_ = [
-            rng.normal(0.0, np.sqrt(2.0 / max(sizes[i], 1)), (sizes[i], sizes[i + 1]))
+            self._rng.normal(
+                0.0, np.sqrt(2.0 / max(sizes[i], 1)), (sizes[i], sizes[i + 1])
+            )
             for i in range(len(sizes) - 1)
         ]
         self.biases_ = [np.zeros(sizes[i + 1]) for i in range(len(sizes) - 1)]
-        optimizer = AdamOptimizer(learning_rate=self.learning_rate)
+        self._optimizer = AdamOptimizer(learning_rate=self.learning_rate)
         self.loss_curve_: list[float] = []
+
+    def fit(self, X: CategoricalMatrix, y: np.ndarray) -> "MLPClassifier":
+        y = check_X_y(X, y)
+        self._validate_params()
+        self._reset()
+        self._initialize(X, max(int(y.max()) + 1, 2))
+        # Encode once for all epochs; each epoch is the same pass that
+        # partial_fit runs, so single-shard streaming reproduces fit.
+        encoded = sparse.encode_features(X, self.engine)
         for _ in range(self.epochs):
-            order = rng.permutation(n)
-            epoch_loss = 0.0
-            for start in range(0, n, self.batch_size):
-                batch = order[start : start + self.batch_size]
-                # Label one-hot targets are tiny per batch; building them
-                # lazily avoids pinning an (n, n_classes) matrix.
-                targets = np.zeros((batch.size, self.n_classes_))
-                targets[np.arange(batch.size), y[batch]] = 1.0
-                loss = self._step(
-                    sparse.take_rows(encoded, batch), targets, optimizer
-                )
-                epoch_loss += loss * batch.size
-            self.loss_curve_.append(epoch_loss / n)
+            self._run_epoch(encoded, y)
         return self
+
+    def partial_fit(
+        self,
+        X: CategoricalMatrix,
+        y: np.ndarray,
+        n_classes: int | None = None,
+    ) -> "MLPClassifier":
+        """One shuffled minibatch epoch over ``(X, y)``, resuming state.
+
+        The first call initialises weights and the Adam moments;
+        subsequent calls continue from where the last left off, sharing
+        one RNG stream for batch shuffling.  Out-of-core training calls
+        this once per shard per epoch; the shards' closed domains
+        guarantee every shard encodes to the same width.
+
+        Parameters
+        ----------
+        n_classes:
+            Total number of classes.  Required on the first call when
+            the first shard might not contain every class (e.g. sorted
+            labels); defaults to what ``y`` shows.
+        """
+        y = check_X_y(X, y)
+        self._validate_params()
+        if not hasattr(self, "weights_"):
+            if n_classes is None:
+                n_classes = max(int(y.max()) + 1, 2)
+            elif n_classes < 2:
+                raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+            self._initialize(X, int(n_classes))
+        elif X.n_features != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {X.n_features}"
+            )
+        elif n_classes is not None and int(n_classes) != self.n_classes_:
+            raise ValueError(
+                f"model was initialised with {self.n_classes_} classes, "
+                f"got n_classes={n_classes}"
+            )
+        if int(y.max()) >= self.n_classes_:
+            raise ValueError(
+                f"label {int(y.max())} out of range for {self.n_classes_} classes"
+            )
+        self._run_epoch(sparse.encode_features(X, self.engine), y)
+        return self
+
+    def _run_epoch(self, encoded, y: np.ndarray) -> None:
+        """One shuffled minibatch pass over an already-encoded operand."""
+        n = encoded.shape[0]
+        order = self._rng.permutation(n)
+        epoch_loss = 0.0
+        for start in range(0, n, self.batch_size):
+            batch = order[start : start + self.batch_size]
+            # Label one-hot targets are tiny per batch; building them
+            # lazily avoids pinning an (n, n_classes) matrix.
+            targets = np.zeros((batch.size, self.n_classes_))
+            targets[np.arange(batch.size), y[batch]] = 1.0
+            loss = self._step(
+                sparse.take_rows(encoded, batch), targets, self._optimizer
+            )
+            epoch_loss += loss * batch.size
+        self.loss_curve_.append(epoch_loss / n)
 
     def _forward(self, inputs) -> tuple[list, np.ndarray]:
         # inputs is a dense array or an implicit OneHotMatrix view; only

@@ -106,6 +106,18 @@ class OneHotMatrix:
         """Shape of the implied dense matrix, ``(n, width)``."""
         return (self.n_rows, self.width)
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the view: codes, offsets, flat-code cache.
+
+        Part of the ``shard_working_set_bytes`` the streaming scale
+        benchmark records; compare against ``n_rows * width * 8`` for
+        the dense encoding this view stands in for (the benchmark's
+        ``shard_dense_equivalent_bytes``).
+        """
+        flat = self._flat.nbytes if self._flat is not None else 0
+        return int(self.codes.nbytes + self.offsets.nbytes + flat)
+
     def _flat_codes(self) -> np.ndarray:
         """Codes shifted into one-hot column positions, cached."""
         if self._flat is None:

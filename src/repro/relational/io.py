@@ -10,11 +10,23 @@ assumption) and assemble them into a validated
 Foreign-key/dimension-key domain alignment — the invariant the join
 machinery relies on — is handled here: the key columns of the fact and
 dimension files are unioned into one shared closed domain.
+
+Two access patterns coexist:
+
+- **Eager** — :func:`read_csv_columns` / :func:`table_from_csv` load a
+  whole file, the right call for dimension tables (small by the paper's
+  tuple-ratio premise).
+- **Chunked** — :func:`iter_csv_chunks` streams a file in bounded
+  ``{column: values}`` blocks so fact tables larger than RAM can be
+  consumed shard by shard (:mod:`repro.streaming` builds on it), and
+  :func:`csv_header` probes just the header row without parsing the
+  rest of the file.
 """
 
 from __future__ import annotations
 
 import csv
+from collections.abc import Iterator
 from pathlib import Path
 
 from repro.errors import SchemaError
@@ -22,9 +34,41 @@ from repro.relational.column import CategoricalColumn, Domain
 from repro.relational.schema import KFKConstraint, StarSchema
 from repro.relational.table import Table
 
+#: Default number of data rows per chunk for the streaming reader.
+DEFAULT_CHUNK_ROWS = 8192
 
-def read_csv_columns(path: str | Path) -> dict[str, list[str]]:
-    """Read a CSV with a header row into ``{column: values}`` (as strings)."""
+
+def csv_header(path: str | Path) -> list[str]:
+    """Read and validate only the header row of a CSV file.
+
+    Nothing beyond the first row is parsed, so probing a multi-gigabyte
+    fact file is O(1): malformed data rows further down do not raise.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path}: empty CSV") from None
+    if len(set(header)) != len(header):
+        raise SchemaError(f"{path}: duplicate column names in header")
+    return header
+
+
+def iter_csv_chunks(
+    path: str | Path, chunk_rows: int = DEFAULT_CHUNK_ROWS
+) -> Iterator[dict[str, list[str]]]:
+    """Stream a CSV as bounded ``{column: values}`` chunks.
+
+    Each yielded chunk holds at most ``chunk_rows`` data rows; memory is
+    bounded by the chunk, not the file.  At least one chunk is always
+    yielded (empty value lists for a header-only file), so consumers can
+    discover the columns without special-casing.  Rows are validated
+    lazily: a ragged row only raises once iteration reaches its chunk.
+    """
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
     path = Path(path)
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
@@ -34,7 +78,9 @@ def read_csv_columns(path: str | Path) -> dict[str, list[str]]:
             raise SchemaError(f"{path}: empty CSV") from None
         if len(set(header)) != len(header):
             raise SchemaError(f"{path}: duplicate column names in header")
-        columns: dict[str, list[str]] = {name: [] for name in header}
+        chunk: dict[str, list[str]] = {name: [] for name in header}
+        size = 0
+        yielded = False
         for line_number, row in enumerate(reader, start=2):
             if len(row) != len(header):
                 raise SchemaError(
@@ -42,7 +88,48 @@ def read_csv_columns(path: str | Path) -> dict[str, list[str]]:
                     f"got {len(row)}"
                 )
             for name, value in zip(header, row):
-                columns[name].append(value)
+                chunk[name].append(value)
+            size += 1
+            if size == chunk_rows:
+                yield chunk
+                yielded = True
+                chunk = {name: [] for name in header}
+                size = 0
+        if size or not yielded:
+            yield chunk
+
+
+def read_csv_columns(
+    path: str | Path, max_rows: int | None = None
+) -> dict[str, list[str]]:
+    """Read a CSV with a header row into ``{column: values}`` (as strings).
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row.
+    max_rows:
+        Stop after this many data rows without reading (or validating)
+        the remainder of the file.  ``0`` is the header-only probe;
+        ``None`` (default) reads everything.
+    """
+    if max_rows is not None and max_rows < 0:
+        raise ValueError(f"max_rows must be >= 0, got {max_rows}")
+    if max_rows == 0:
+        return {name: [] for name in csv_header(path)}
+    if max_rows is not None:
+        chunks = iter_csv_chunks(path, chunk_rows=max_rows)
+        first = next(chunks)
+        chunks.close()
+        return first
+    columns: dict[str, list[str]] | None = None
+    for chunk in iter_csv_chunks(path):
+        if columns is None:
+            columns = chunk
+        else:
+            for name, values in chunk.items():
+                columns[name].extend(values)
+    assert columns is not None  # iter_csv_chunks always yields once
     return columns
 
 

@@ -140,6 +140,26 @@ class StarSchema:
         """Foreign keys with closed domains, i.e. usable as features."""
         return [c for c in self.fk_columns if c not in self.open_fks]
 
+    def feature_domain(self, name: str):
+        """The closed domain of a feature column, resolved without joining.
+
+        Home features and foreign keys live in the fact table; foreign
+        features live in exactly one dimension table (the join machinery
+        rejects name clashes).  Streaming training uses this to size
+        one-hot encodings shard by shard — the full joined table never
+        exists, so the domain must come from the schema itself.
+        """
+        if name in self.fact:
+            return self.fact.domain(name)
+        for dim_name in self.dimension_names:
+            table = self.dimension(dim_name)
+            if name in table and name != self.constraint(dim_name).rid_column:
+                return table.domain(name)
+        raise SchemaError(
+            f"no feature column {name!r} in fact table {self.fact.name!r} "
+            f"or dimensions {self.dimension_names}"
+        )
+
     # ------------------------------------------------------------------
     # Paper quantities
     # ------------------------------------------------------------------

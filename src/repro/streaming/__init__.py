@@ -1,0 +1,47 @@
+"""Out-of-core sharded training with an equivalence-first contract.
+
+The in-memory paths materialise a strategy's full feature matrix; this
+package trains on bounded shards instead, with one guarantee front and
+centre: **streaming training is numerically equivalent to in-memory
+training**.  A single-shard streaming fit is bit-identical to the
+in-memory fit (the models' ``fit`` methods are literally the streaming
+loop applied to one shard); multi-shard exact logistic regression runs
+the same full-batch FISTA iterates with gradients accumulated shard by
+shard, differing only in floating-point association.
+
+- :mod:`repro.streaming.shards` — :class:`ShardPlan` /
+  :class:`ShardedDataset`: bounded fact-row shards from a split, a full
+  table, a :class:`ScenarioPopulation`, or a chunked CSV.
+- :mod:`repro.streaming.matrices` — :class:`StreamingMatrices`: the
+  projected KFK join and categorical encoding, one shard at a time,
+  with shard-indexed referential-integrity errors.
+- :mod:`repro.streaming.trainer` — :class:`StreamingTrainer`:
+  deterministic shard shuffling, exact/incremental logistic modes,
+  per-shard MLP epochs, and shard-accumulated scoring.
+- :mod:`repro.streaming.benchmark` — the peak-memory scaling harness
+  behind ``benchmarks/bench_streaming_scale.py``.
+"""
+
+from repro.streaming.benchmark import (
+    StreamingScaleReport,
+    streaming_scale_report,
+)
+from repro.streaming.matrices import StreamingMatrices
+from repro.streaming.shards import (
+    FactShard,
+    ShardedDataset,
+    ShardPlan,
+    plan_shards,
+)
+from repro.streaming.trainer import StreamingTrainer
+
+__all__ = [
+    "FactShard",
+    "ShardPlan",
+    "ShardedDataset",
+    "StreamingMatrices",
+    "StreamingScaleReport",
+    "StreamingTrainer",
+    "plan_shards",
+    "streaming_scale_report",
+]

@@ -1,0 +1,171 @@
+"""Per-shard strategy matrices: the join, one bounded block at a time.
+
+:meth:`JoinStrategy.matrices` materialises the full joined table and a
+full :class:`~repro.ml.encoding.CategoricalMatrix` — the step that caps
+in-memory training at whatever fits in RAM.  :class:`StreamingMatrices`
+performs the *same* projected KFK join per shard instead: select the
+shard's fact rows, fold in each joined dimension with
+:func:`~repro.relational.join.kfk_join`, project onto the strategy's
+feature list.  Because the shard's columns share the schema's closed
+domains, each shard's matrix is exactly the corresponding row block of
+the never-built full matrix — the invariant the equivalence suite
+asserts bit for bit.
+
+The class implements the shard-stream protocol consumed by
+:meth:`~repro.ml.linear.logistic.L1LogisticRegression.fit_stream` and
+:class:`~repro.streaming.trainer.StreamingTrainer`: ``n_rows``,
+``n_features``, ``onehot_width``, ``n_classes`` and re-iterable
+``__iter__`` over ``(CategoricalMatrix, labels)`` pairs in stable shard
+order.
+
+Referential integrity is enforced shard by shard: a dangling foreign
+key anywhere in the table — even one first reached in the final shard —
+raises :class:`~repro.errors.ReferentialIntegrityError` naming the
+shard index, so out-of-core runs fail as loudly as validated in-memory
+schemas do.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.strategies import JoinStrategy
+from repro.errors import ReferentialIntegrityError
+from repro.ml.encoding import CategoricalMatrix
+from repro.relational.join import kfk_join
+from repro.streaming.shards import FactShard, ShardedDataset
+
+
+class StreamingMatrices:
+    """A strategy's feature matrices, assembled shard by shard.
+
+    Parameters
+    ----------
+    sharded:
+        The shard source (any :class:`ShardedDataset`).
+    strategy:
+        Feature-set strategy (JoinAll / NoJoin / NoFK / partial / ...).
+        Resolved against the shard source's schema once, up front, so
+        malformed strategies fail before any data is read.
+    """
+
+    def __init__(self, sharded: ShardedDataset, strategy: JoinStrategy):
+        self.sharded = sharded
+        self.strategy = strategy
+        self.schema = sharded.schema
+        self.feature_names: tuple[str, ...] = tuple(
+            strategy.feature_names(self.schema)
+        )
+        self._joined_dimensions = tuple(strategy.joined_dimensions(self.schema))
+        self.n_levels: tuple[int, ...] = tuple(
+            len(self.schema.feature_domain(name)) for name in self.feature_names
+        )
+        # With a single shard the assembled matrix *is* the whole
+        # dataset, so caching it costs no more memory than one assembly
+        # already peaked at — and saves the multi-pass consumers
+        # (exact FISTA re-iterates the stream per iteration) from
+        # re-joining identical rows hundreds of times.  Multi-shard
+        # streams deliberately re-assemble per pass: that is the price
+        # of the bounded footprint.
+        self._single_shard_cache: tuple[CategoricalMatrix, np.ndarray] | None = (
+            None
+        )
+
+    # ------------------------------------------------------------------
+    # Shape (known without reading any shard)
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Total examples across shards."""
+        return self.sharded.n_rows
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return self.sharded.n_shards
+
+    @property
+    def n_features(self) -> int:
+        """Number of categorical features the strategy exposes."""
+        return len(self.feature_names)
+
+    @property
+    def onehot_width(self) -> int:
+        """Width of the (never materialised) one-hot encoding."""
+        return int(sum(self.n_levels))
+
+    @property
+    def n_classes(self) -> int:
+        """Size of the target's *closed domain*.
+
+        An upper bound on the classes training can observe; the trainer
+        sizes model outputs from the labels actually present (see
+        :meth:`labels`), matching what an in-memory ``fit`` would see.
+        """
+        return len(self.schema.fact.domain(self.schema.target))
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def _assemble(self, shard: FactShard) -> tuple[CategoricalMatrix, np.ndarray]:
+        """Join and project one shard into ``(X, y)``."""
+        joined = shard.fact
+        try:
+            for name in self._joined_dimensions:
+                joined = kfk_join(self.schema, name, fact=joined)
+        except ReferentialIntegrityError as error:
+            raise ReferentialIntegrityError(
+                f"shard {shard.index}: {error}"
+            ) from error
+        X = CategoricalMatrix.from_table(joined, list(self.feature_names))
+        y = shard.fact.codes(self.schema.target)
+        return X, y
+
+    def shard(self, index: int) -> tuple[CategoricalMatrix, np.ndarray]:
+        """The ``(X, y)`` block of one shard, by stable index."""
+        if self.n_shards == 1 and index == 0:
+            if self._single_shard_cache is None:
+                self._single_shard_cache = self._assemble(self.sharded.shard(0))
+            return self._single_shard_cache
+        return self._assemble(self.sharded.shard(index))
+
+    def iter_shards(
+        self, order: Sequence[int] | np.ndarray | None = None
+    ) -> Iterator[tuple[int, CategoricalMatrix, np.ndarray]]:
+        """Iterate ``(index, X, y)`` triples, optionally reordered."""
+        if self.n_shards == 1:
+            if order is None or (len(order) == 1 and int(order[0]) == 0):
+                X, y = self.shard(0)
+                yield 0, X, y
+                return
+        for shard in self.sharded.iter_shards(order):
+            X, y = self._assemble(shard)
+            yield shard.index, X, y
+
+    def __iter__(self) -> Iterator[tuple[CategoricalMatrix, np.ndarray]]:
+        """Stable-order iteration under the shard-stream protocol."""
+        for _, X, y in self.iter_shards():
+            yield X, y
+
+    def labels(self) -> np.ndarray:
+        """All labels, accumulated shard by shard (one small array).
+
+        Labels live on the fact shards, so this skips the per-shard
+        join and encoding entirely.
+        """
+        parts = [
+            shard.fact.codes(self.schema.target)
+            for shard in self.sharded.iter_shards()
+        ]
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingMatrices(strategy={self.strategy.name!r}, "
+            f"n_rows={self.n_rows}, n_shards={self.n_shards}, "
+            f"d={self.n_features}, onehot_width={self.onehot_width})"
+        )

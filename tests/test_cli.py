@@ -26,6 +26,26 @@ class TestParser:
         assert args.model == "dt_gini"
         assert args.strategy == "NoFK"
 
+    def test_fit_arguments(self):
+        args = build_parser().parse_args(
+            ["fit", "yelp", "lr_l1", "--stream", "--shard-rows", "200"]
+        )
+        assert args.command == "fit"
+        assert args.model == "lr_l1"
+        assert args.stream
+        assert args.shard_rows == 200
+
+    def test_fit_rejects_unstreamable_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fit", "yelp", "dt_gini"])
+
+    def test_fit_rejects_both_shard_specs(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fit", "yelp", "lr_l1", "--stream",
+                 "--shard-rows", "10", "--shards", "2"]
+            )
+
     def test_simulate_arguments(self):
         args = build_parser().parse_args(
             ["simulate", "--n-r", "2", "8", "--runs", "2", "--csv"]
@@ -78,6 +98,36 @@ class TestCommands:
         assert code == 0
         assert "movies" in out
         assert "test=" in out
+
+    def test_fit_streamed_matches_inmemory(self, capsys):
+        code = main(["fit", "yelp", "lr_l1", "--scale", "smoke"])
+        inmem = capsys.readouterr().out
+        assert code == 0
+        code = main(
+            ["fit", "yelp", "lr_l1", "--stream", "--shards", "1",
+             "--scale", "smoke"]
+        )
+        streamed = capsys.readouterr().out
+        assert code == 0
+        assert "streamed 1 shard(s)" in streamed
+        # Identical accuracies: single-shard streaming == in-memory
+        # (compare up to the wall-clock parenthetical).
+        expected = inmem.strip().splitlines()[-1].split(" (")[0]
+        assert expected in streamed
+
+    def test_fit_shard_rows_without_stream_errors(self, capsys):
+        code = main(["fit", "yelp", "lr_l1", "--shard-rows", "10",
+                     "--scale", "smoke"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--stream" in err
+
+    def test_fit_nonpositive_shard_spec_errors_cleanly(self, capsys):
+        code = main(["fit", "yelp", "lr_l1", "--stream", "--shards", "0",
+                     "--scale", "smoke"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--shards must be >= 1" in err
 
     def test_simulate_renders_series(self, capsys):
         code = main(

@@ -272,6 +272,50 @@ class TestMLP:
             MLPClassifier(epochs=0).fit(X, y)
 
 
+class TestMLPPartialFit:
+    def test_fit_equals_epoch_loop_of_partial_fit(self):
+        X, y = _separable(n=120)
+        whole = MLPClassifier(hidden_sizes=(6,), epochs=4, random_state=3)
+        whole.fit(X, y)
+        resumed = MLPClassifier(hidden_sizes=(6,), epochs=4, random_state=3)
+        for _ in range(4):
+            resumed.partial_fit(X, y)
+        for w_a, w_b in zip(whole.weights_, resumed.weights_):
+            assert np.array_equal(w_a, w_b)
+        assert whole.loss_curve_ == resumed.loss_curve_
+
+    def test_refit_resets_state(self):
+        X, y = _separable(n=80)
+        model = MLPClassifier(hidden_sizes=(6,), epochs=2, random_state=0)
+        model.partial_fit(X, y)
+        model.fit(X, y)
+        fresh = MLPClassifier(hidden_sizes=(6,), epochs=2, random_state=0)
+        fresh.fit(X, y)
+        assert np.array_equal(model.predict(X), fresh.predict(X))
+        assert len(model.loss_curve_) == 2
+
+    def test_explicit_n_classes_covers_absent_labels(self):
+        X, y = _separable(n=40)
+        model = MLPClassifier(hidden_sizes=(4,), epochs=1, random_state=0)
+        model.partial_fit(X.take_rows(y == 0), y[y == 0], n_classes=2)
+        assert model.n_classes_ == 2
+        model.partial_fit(X.take_rows(y == 1), y[y == 1], n_classes=2)
+
+    def test_label_out_of_range_rejected(self):
+        X, y = _separable(n=40)
+        model = MLPClassifier(hidden_sizes=(4,), epochs=1, random_state=0)
+        model.partial_fit(X, y, n_classes=2)
+        with pytest.raises(ValueError, match="out of range"):
+            model.partial_fit(X, y + 5)
+
+    def test_n_classes_conflict_rejected(self):
+        X, y = _separable(n=40)
+        model = MLPClassifier(hidden_sizes=(4,), epochs=1, random_state=0)
+        model.partial_fit(X, y, n_classes=2)
+        with pytest.raises(ValueError, match="classes"):
+            model.partial_fit(X, y, n_classes=5)
+
+
 class TestL1Logistic:
     def test_learns_separable(self):
         X, y = _separable()
@@ -314,6 +358,43 @@ class TestL1Logistic:
         lam_max = path.lambda_max(X, y)
         model = L1LogisticRegression(lam=lam_max * 1.01, max_iter=300).fit(X, y)
         assert model.n_nonzero_ == 0
+
+    def test_partial_fit_fresh_full_budget_equals_fit(self):
+        X, y = _separable(n=120, seed=2)
+        reference = L1LogisticRegression(lam=1e-3, max_iter=80).fit(X, y)
+        incremental = L1LogisticRegression(lam=1e-3, max_iter=80)
+        incremental.partial_fit(X, y, n_iter=80)
+        assert np.array_equal(reference.coef_, incremental.coef_)
+        assert reference.intercept_ == incremental.intercept_
+
+    def test_partial_fit_improves_loss_across_calls(self):
+        X, y = _separable(n=120, seed=2)
+        model = L1LogisticRegression(lam=1e-3)
+        model.partial_fit(X, y, n_iter=2)
+        early = model.loss(X, y)
+        for _ in range(30):
+            model.partial_fit(X, y, n_iter=2)
+        assert model.loss(X, y) < early
+
+    def test_partial_fit_width_mismatch_rejected(self):
+        X, y = _separable(n=60, seed=3)
+        model = L1LogisticRegression().partial_fit(X, y)
+        narrower = X.select_features(list(range(X.n_features - 1)))
+        with pytest.raises(ValueError, match="width"):
+            model.partial_fit(narrower, y[: narrower.n_rows])
+
+    def test_fit_discards_partial_fit_momentum(self):
+        X, y = _separable(n=60, seed=4)
+        model = L1LogisticRegression(max_iter=50)
+        model.partial_fit(X, y, n_iter=5)
+        model.fit(X, y)
+        fresh = L1LogisticRegression(max_iter=50).fit(X, y)
+        assert np.array_equal(model.coef_, fresh.coef_)
+
+    def test_loss_requires_fit(self):
+        X, y = _separable(n=20)
+        with pytest.raises(NotFittedError):
+            L1LogisticRegression().loss(X, y)
 
 
 class TestEstimatorProtocol:

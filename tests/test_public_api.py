@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.core",
     "repro.datasets",
     "repro.experiments",
+    "repro.streaming",
     "repro.serving",
 ]
 

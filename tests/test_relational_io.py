@@ -5,6 +5,8 @@ import pytest
 from repro.errors import ReferentialIntegrityError, SchemaError
 from repro.relational import audit_star_schema, join_all
 from repro.relational.io import (
+    csv_header,
+    iter_csv_chunks,
     read_csv_columns,
     star_schema_from_csv,
     table_from_csv,
@@ -55,6 +57,84 @@ class TestReadCsv:
         bad.write_text("a,b\n1\n")
         with pytest.raises(SchemaError, match="expected 2 fields"):
             read_csv_columns(bad)
+
+    def test_ragged_row_names_line_number(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n3,4\n5\n")
+        with pytest.raises(SchemaError, match=r"bad\.csv:4"):
+            read_csv_columns(bad)
+
+
+class TestLazyReads:
+    """Regression: probing a file must not load (or validate) all of it."""
+
+    @pytest.fixture
+    def large_csv_with_late_corruption(self, tmp_path):
+        """10k clean rows, then a ragged row an eager read trips over."""
+        path = tmp_path / "big.csv"
+        rows = "".join(f"v{i % 7},w{i % 5}\n" for i in range(10_000))
+        path.write_text("a,b\n" + rows + "oops\n")
+        return path
+
+    def test_header_probe_ignores_corrupt_tail(
+        self, large_csv_with_late_corruption
+    ):
+        assert csv_header(large_csv_with_late_corruption) == ["a", "b"]
+        probe = read_csv_columns(large_csv_with_late_corruption, max_rows=0)
+        assert probe == {"a": [], "b": []}
+
+    def test_bounded_read_stops_at_first_chunk(
+        self, large_csv_with_late_corruption
+    ):
+        columns = read_csv_columns(large_csv_with_late_corruption, max_rows=10)
+        assert columns["a"] == [f"v{i % 7}" for i in range(10)]
+        # The eager read must still fail loudly on the corrupt row.
+        with pytest.raises(SchemaError, match="expected 2 fields"):
+            read_csv_columns(large_csv_with_late_corruption)
+
+    def test_header_probe_rejects_bad_header(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            csv_header(empty)
+        dup = tmp_path / "dup.csv"
+        dup.write_text("a,a\n")
+        with pytest.raises(SchemaError, match="duplicate"):
+            csv_header(dup)
+
+    def test_negative_max_rows_rejected(self, customer_csvs):
+        fact, _ = customer_csvs
+        with pytest.raises(ValueError, match="max_rows"):
+            read_csv_columns(fact, max_rows=-1)
+
+
+class TestIterCsvChunks:
+    def test_chunks_are_bounded_and_complete(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n" + "".join(f"{i}\n" for i in range(10)))
+        chunks = list(iter_csv_chunks(path, chunk_rows=4))
+        assert [len(c["a"]) for c in chunks] == [4, 4, 2]
+        merged = [v for c in chunks for v in c["a"]]
+        assert merged == [str(i) for i in range(10)]
+        assert merged == read_csv_columns(path)["a"]
+
+    def test_header_only_file_yields_one_empty_chunk(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n")
+        chunks = list(iter_csv_chunks(path))
+        assert chunks == [{"a": [], "b": []}]
+
+    def test_rejects_nonpositive_chunk_rows(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1\n")
+        with pytest.raises(ValueError, match="chunk_rows"):
+            list(iter_csv_chunks(path, chunk_rows=0))
+
+    def test_exact_multiple_has_no_trailing_empty_chunk(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n" + "".join(f"{i}\n" for i in range(8)))
+        chunks = list(iter_csv_chunks(path, chunk_rows=4))
+        assert [len(c["a"]) for c in chunks] == [4, 4]
 
 
 class TestTableFromCsv:
