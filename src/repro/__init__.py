@@ -5,7 +5,7 @@ Classifiers?" studies whether key-foreign-key (KFK) joins that bring in
 foreign features can be skipped ("avoiding joins safely") when training
 decision trees, kernel SVMs, ANNs and other high-capacity classifiers.
 
-The package is organised in seven layers:
+The package is organised in eight layers:
 
 - :mod:`repro.relational` — an in-memory relational substrate: categorical
   columns with closed domains, tables, star schemas with KFK constraints,
@@ -22,6 +22,10 @@ The package is organised in seven layers:
   domain compression, and unseen-foreign-key smoothing.
 - :mod:`repro.experiments` — the experiment harness reproducing every
   table and figure in the paper's evaluation.
+- :mod:`repro.data` — the unified shard-oriented data layer: the
+  :class:`~repro.data.FeatureSource` protocol every trainer and scorer
+  consumes, the shared :class:`~repro.data.ShardEncoder` encode path,
+  and the prefetch / disk-spill-cache decorators.
 - :mod:`repro.streaming` — out-of-core sharded training: bounded fact
   shards from splits/populations/chunked CSVs, per-shard strategy
   matrices, and a deterministic :class:`~repro.streaming.StreamingTrainer`
@@ -40,7 +44,7 @@ from repro.errors import (
 )
 from repro.rng import ensure_rng
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Serving-layer names re-exported lazily so ``import repro`` stays light
 #: (resolving any of them pulls in numpy and the full model substrate).

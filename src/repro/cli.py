@@ -43,8 +43,6 @@ from repro.experiments import (
     FigureSeries,
     get_scale,
     run_experiment,
-    run_inmemory_experiment,
-    run_streaming_experiment,
     sweep,
 )
 
@@ -103,18 +101,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="train out-of-core over bounded shards (repro.streaming)",
     )
-    group = p_fit.add_mutually_exclusive_group()
-    group.add_argument(
+    # Deliberately NOT an argparse mutually-exclusive group: the
+    # contradiction is validated in _cmd_fit with a message explaining
+    # *why* the combination is rejected, and regression-tested there.
+    p_fit.add_argument(
         "--shard-rows",
         type=int,
         default=None,
         help="rows per shard for --stream (bounds peak memory)",
     )
-    group.add_argument(
+    p_fit.add_argument(
         "--shards",
         type=int,
         default=None,
         help="number of shards for --stream (alternative to --shard-rows)",
+    )
+    p_fit.add_argument(
+        "--prefetch",
+        type=int,
+        default=None,
+        metavar="DEPTH",
+        help="prefetch shards on a background thread (queue depth)",
+    )
+    p_fit.add_argument(
+        "--spill-cache",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="DIR",
+        help=(
+            "cache encoded shards on disk between passes (optional "
+            "directory; default: a private temporary one)"
+        ),
     )
     p_fit.add_argument("--scale", choices=["smoke", "default", "paper"])
     p_fit.add_argument("--seed", type=int, default=0)
@@ -232,40 +250,57 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_fit(args: argparse.Namespace) -> int:
+    from repro.data import SourceSpec
+
     # Usage errors exit before any dataset generation happens.
-    if not args.stream and (
-        args.shard_rows is not None or args.shards is not None
-    ):
-        print("error: --shard-rows/--shards require --stream", file=sys.stderr)
+    if args.shard_rows is not None and args.shards is not None:
+        print(
+            "error: --shard-rows and --shards both fix the shard layout; "
+            "pass exactly one (rows per shard, or shard count)",
+            file=sys.stderr,
+        )
         return 2
-    for name, value in (("--shard-rows", args.shard_rows),
-                        ("--shards", args.shards)):
+    streaming_flags = (
+        ("--shard-rows", args.shard_rows),
+        ("--shards", args.shards),
+        ("--prefetch", args.prefetch),
+        ("--spill-cache", args.spill_cache),
+    )
+    if not args.stream and any(v is not None for _, v in streaming_flags):
+        names = "/".join(name for name, _ in streaming_flags)
+        print(f"error: {names} require --stream", file=sys.stderr)
+        return 2
+    for name, value in streaming_flags[:3]:
         if value is not None and value < 1:
             print(f"error: {name} must be >= 1, got {value}", file=sys.stderr)
             return 2
+    if args.stream:
+        n_shards = args.shards
+        if args.shard_rows is None and n_shards is None:
+            # --stream without a layout still exercises the shard path,
+            # as a single bounded shard.
+            n_shards = 1
+        spec = SourceSpec(
+            shard_rows=args.shard_rows,
+            n_shards=n_shards,
+            prefetch=args.prefetch,
+            spill_cache=args.spill_cache or False,
+        )
+    else:
+        spec = SourceSpec()
     scale = get_scale(args.scale)
     dataset = generate_real_world(
         args.dataset, n_fact=scale.n_fact, seed=args.seed
     )
     strategy = _STRATEGIES[args.strategy]()
+    result = run_experiment(
+        dataset, args.model, strategy, scale=scale, source=spec, seed=args.seed
+    )
     if args.stream:
-        result = run_streaming_experiment(
-            dataset,
-            args.model,
-            strategy,
-            shard_rows=args.shard_rows,
-            n_shards=args.shards,
-            scale=scale,
-            seed=args.seed,
-        )
         shards = result.best_params
         print(
             f"streamed {shards['n_shards']} shard(s) of "
             f"<= {shards['shard_rows']} rows"
-        )
-    else:
-        result = run_inmemory_experiment(
-            dataset, args.model, strategy, scale=scale, seed=args.seed
         )
     print(result)
     return 0

@@ -1,0 +1,57 @@
+"""Unified shard-oriented data layer: one access path for all consumers.
+
+Before this package, the paper's central comparison — join-materialised
+vs. factorised/avoided feature access — was implemented three times:
+dense in-memory matrices in the experiment runner, per-shard joins in
+:mod:`repro.streaming`, and cached-gather assembly in
+:mod:`repro.serving`.  ``repro.data`` states the contract once:
+
+- :mod:`repro.data.source` — the :class:`FeatureSource` protocol
+  (encoded ``(X, y)`` shards in a stable order plus schema/domain
+  metadata), the in-memory :class:`MatrixSource` adapter, and the
+  shared :func:`source_accuracy` scoring loop.
+- :mod:`repro.data.encoder` — :class:`ShardEncoder`, the single
+  fact-rows → feature-matrix encode path, shared verbatim by serving
+  micro-batches (:class:`repro.serving.FeatureService` subclasses it)
+  and streaming shards (:class:`repro.streaming.StreamingMatrices`
+  encodes through it), with the thread-safe
+  :class:`DimensionIndexCache` behind both.
+- :mod:`repro.data.prefetch` / :mod:`repro.data.spill` — composable
+  decorators: background prefetching behind a bounded queue, and a
+  disk-spilling LRU cache of encoded shards.  Decorators never change
+  shard bytes, only how they are produced.
+- :mod:`repro.data.spec` — :class:`SourceSpec`, the declarative recipe
+  ``run_experiment(source=...)`` and the CLI build sources from.
+
+Out-of-core shard *production* (split/table/population/CSV sources)
+stays in :mod:`repro.streaming`; its :class:`StreamingMatrices` is the
+out-of-core :class:`FeatureSource`.
+"""
+
+# Import order matters: `source` must load before `encoder`/`spill`,
+# whose imports can re-enter this package while repro.ml initialises.
+from repro.data.source import (
+    FeatureSource,
+    MatrixSource,
+    SourceDecorator,
+    source_accuracy,
+)
+from repro.data.prefetch import PrefetchingSource
+from repro.data.spill import SpillCacheSource, SpillStats
+from repro.data.encoder import CacheStats, DimensionIndexCache, ShardEncoder
+from repro.data.spec import SPLITS, SourceSpec
+
+__all__ = [
+    "CacheStats",
+    "DimensionIndexCache",
+    "FeatureSource",
+    "MatrixSource",
+    "PrefetchingSource",
+    "SPLITS",
+    "ShardEncoder",
+    "SourceDecorator",
+    "SourceSpec",
+    "SpillCacheSource",
+    "SpillStats",
+    "source_accuracy",
+]

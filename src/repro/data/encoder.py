@@ -1,0 +1,357 @@
+"""The one encode path from fact rows to feature matrices.
+
+Every consumer that turns raw fact rows into a strategy's
+:class:`~repro.ml.encoding.CategoricalMatrix` — the serving layer per
+micro-batch, the streaming layer per shard — does the same work:
+resolve each joined dimension's foreign-key codes to dimension rows,
+gather the foreign-feature code columns, and stack them with the fact
+features in strategy order.  :class:`ShardEncoder` is that path, stated
+once and shared:
+
+- :class:`repro.serving.FeatureService` *is* a ``ShardEncoder`` (it
+  subclasses it, adding nothing but serving docs), so the request path
+  and the training path cannot drift apart.
+- :class:`repro.streaming.StreamingMatrices` encodes every shard
+  through one, so out-of-core training reuses the same cached
+  dimension indexes a server would — each shard costs O(1) numpy
+  gathers per joined dimension instead of a fresh hash join.
+
+Correctness notes: the gather-based assembly is byte-identical to the
+offline ``kfk_join`` + project path (``tests/test_serving_feature_service.py``
+and the streaming equivalence suite both assert it), dangling foreign
+keys raise :class:`~repro.errors.ReferentialIntegrityError` through
+:func:`~repro.relational.join.resolve_dimension_rows` exactly as the
+join would, and dimensions the strategy avoids are never touched — the
+paper's NoJoin payoff holds on every path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.ml.encoding import CategoricalMatrix, check_code_ranges
+from repro.relational.join import dimension_row_index, resolve_dimension_rows
+from repro.relational.schema import StarSchema
+from repro.relational.table import Table
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting for the dimension-index cache.
+
+    ``builds`` counts actual index constructions; under concurrent
+    access it can be smaller than ``misses`` because racing threads
+    that miss on the same cold dimension share one build.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    builds: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total cache lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none yet)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"cache: {self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.1%}), {self.evictions} evictions"
+        )
+
+
+@dataclass
+class _DimensionIndex:
+    """Precomputed lookup state for one joined dimension."""
+
+    row_of_code: np.ndarray
+    feature_codes: dict[str, np.ndarray]
+
+
+class DimensionIndexCache:
+    """A thread-safe LRU cache of per-dimension join indexes.
+
+    Capacity is bounded so a server fronting a schema with many (or
+    large) dimensions can cap resident index memory; entries rebuild
+    transparently on re-access.  With the default capacity of 8 every
+    dimension of the paper's seven datasets stays resident and the cache
+    degenerates to "compute once".
+
+    Any number of threads may call :meth:`get` concurrently.  The LRU
+    map and statistics sit behind one lock; each cold dimension
+    additionally gets a per-entry *build lock*, so when several request
+    threads race on the same unbuilt dimension exactly one of them
+    builds the index (outside the main lock — a slow build never blocks
+    hits on other dimensions) and the rest wait for it and share the
+    result.  Entries are immutable once published, so an entry evicted
+    while another thread still gathers from it stays valid.
+    """
+
+    def __init__(self, schema: StarSchema, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.schema = schema
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, _DimensionIndex] = OrderedDict()
+        self._build_locks: dict[str, threading.Lock] = {}
+
+    def get(self, name: str) -> _DimensionIndex:
+        """Fetch (building if needed) the index state of dimension ``name``."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(name)
+                return entry
+            self.stats.misses += 1
+            build_lock = self._build_locks.get(name)
+            if build_lock is None:
+                build_lock = self._build_locks[name] = threading.Lock()
+        with build_lock:
+            with self._lock:
+                entry = self._entries.get(name)
+                if entry is not None:
+                    # Another thread finished the build while we waited.
+                    self._entries.move_to_end(name)
+                    return entry
+            entry = self._build(name)
+            with self._lock:
+                self.stats.builds += 1
+                self._entries[name] = entry
+                if len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+                self._build_locks.pop(name, None)
+            return entry
+
+    def _build(self, name: str) -> _DimensionIndex:
+        dim = self.schema.dimension(name)
+        return _DimensionIndex(
+            row_of_code=dimension_row_index(self.schema, name),
+            feature_codes={
+                feature: dim.column(feature).codes
+                for feature in self.schema.foreign_features(name)
+            },
+        )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class ShardEncoder:
+    """Encode blocks of fact rows into one (schema, strategy)'s features.
+
+    Parameters
+    ----------
+    schema:
+        The live star schema (fact domains + dimension tables).
+    strategy:
+        The join strategy; avoided dimensions are skipped entirely,
+        joined ones are resolved through the :class:`DimensionIndexCache`.
+    cache_capacity:
+        Maximum dimension indexes kept resident (default 8).
+    """
+
+    def __init__(
+        self,
+        schema: StarSchema,
+        strategy: "repro.core.strategies.JoinStrategy",  # noqa: F821
+        cache_capacity: int = 8,
+    ):
+        self.schema = schema
+        self.strategy = strategy
+        self.cache = DimensionIndexCache(schema, capacity=cache_capacity)
+        self.feature_names: tuple[str, ...] = tuple(strategy.feature_names(schema))
+        self.joined_dimensions: tuple[str, ...] = tuple(
+            strategy.joined_dimensions(schema)
+        )
+        self.n_levels: tuple[int, ...] = tuple(
+            len(schema.feature_domain(name)) for name in self.feature_names
+        )
+        # Each feature is either a fact column (home feature or usable FK)
+        # or a foreign feature gathered through (dimension, fk_column).
+        self._foreign_of: dict[str, tuple[str, str]] = {}
+        for name in self.joined_dimensions:
+            fk = schema.constraint(name).fk_column
+            for feature in schema.foreign_features(name):
+                self._foreign_of[feature] = (name, fk)
+        self._fact_features = [
+            f for f in self.feature_names if f not in self._foreign_of
+        ]
+        for feature in self._fact_features:
+            if feature not in schema.fact:
+                raise SchemaError(
+                    f"strategy feature {feature!r} is neither a fact column "
+                    f"nor a foreign feature of a joined dimension"
+                )
+        needed = list(self._fact_features)
+        for name in self.joined_dimensions:
+            fk = schema.constraint(name).fk_column
+            if fk not in needed:
+                needed.append(fk)
+        self._required_columns: tuple[str, ...] = tuple(needed)
+
+    @property
+    def required_columns(self) -> tuple[str, ...]:
+        """Fact columns a block of rows must provide.
+
+        Home features and usable FKs that are themselves features, plus
+        the FK of every joined dimension (needed for the gather even when
+        the FK is not a feature, e.g. under NoFK).  Fixed for the
+        encoder's lifetime, so it is precomputed off the hot path.
+        """
+        return self._required_columns
+
+    # ------------------------------------------------------------------
+    # Request encoding
+    # ------------------------------------------------------------------
+    def encode_requests(
+        self, rows: Sequence[Mapping[str, object]]
+    ) -> dict[str, np.ndarray]:
+        """Encode label-valued request rows into per-column code vectors.
+
+        Each row maps fact column names to raw labels; labels are encoded
+        through the fact table's closed domains, so an out-of-domain
+        value raises :class:`SchemaError` exactly as the paper's closed
+        -domain assumption dictates.
+        """
+        if not rows:
+            raise ValueError("cannot encode an empty request batch")
+        encoded: dict[str, np.ndarray] = {}
+        for column in self._required_columns:
+            domain = self.schema.fact.domain(column)
+            try:
+                values = [row[column] for row in rows]
+            except KeyError:
+                raise SchemaError(
+                    f"prediction request lacks fact column {column!r}; "
+                    f"required: {list(self._required_columns)}"
+                ) from None
+            encoded[column] = domain.encode(values)
+        return encoded
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def assemble(self, fact_codes: Mapping[str, np.ndarray]) -> CategoricalMatrix:
+        """Assemble the feature matrix for pre-encoded fact columns.
+
+        ``fact_codes`` maps each :attr:`required_columns` entry to an
+        ``(n,)`` int code vector.  Foreign features are gathered from the
+        cached dimension indexes; a foreign key with no dimension row
+        raises :class:`repro.errors.ReferentialIntegrityError` loudly
+        rather than gathering garbage.
+        """
+        n = None
+        for column, codes in fact_codes.items():
+            codes = np.asarray(codes)
+            if n is None:
+                n = codes.shape[0]
+            elif codes.shape[0] != n:
+                raise SchemaError(
+                    f"ragged request batch: column {column!r} has "
+                    f"{codes.shape[0]} rows, expected {n}"
+                )
+        if n is None:
+            raise ValueError("cannot assemble an empty request batch")
+
+        # One cache lookup and one FK resolution per dimension per batch,
+        # however many of its foreign features the strategy keeps.
+        entries: dict[str, _DimensionIndex] = {}
+        dim_rows: dict[str, np.ndarray] = {}
+        columns: list[np.ndarray] = []
+        levels: list[int] = []
+        for feature in self.feature_names:
+            owner = self._foreign_of.get(feature)
+            if owner is None:
+                try:
+                    codes = np.asarray(fact_codes[feature], dtype=np.int64)
+                except KeyError:
+                    raise SchemaError(
+                        f"request batch lacks fact column {feature!r}"
+                    ) from None
+                n_levels = len(self.schema.fact.domain(feature))
+                # Caller-supplied codes are the one unverified input here
+                # (encode_requests/assemble_table pre-validate, direct
+                # assemble() callers may not); check before they reach
+                # the implicit engine's gathers.
+                check_code_ranges(
+                    codes[:, np.newaxis], (n_levels,), (feature,)
+                )
+                levels.append(n_levels)
+            else:
+                name, fk = owner
+                if name not in entries:
+                    entries[name] = self.cache.get(name)
+                    try:
+                        fk_codes = np.asarray(fact_codes[fk], dtype=np.int64)
+                    except KeyError:
+                        raise SchemaError(
+                            f"request batch lacks foreign key {fk!r} needed "
+                            f"to resolve dimension {name!r}"
+                        ) from None
+                    dim_rows[name] = resolve_dimension_rows(
+                        self.schema,
+                        name,
+                        fk_codes,
+                        row_of_code=entries[name].row_of_code,
+                    )
+                codes = entries[name].feature_codes[feature][dim_rows[name]]
+                levels.append(
+                    len(self.schema.dimension(name).domain(feature))
+                )
+            columns.append(codes)
+        if not columns:
+            return CategoricalMatrix.empty(n)
+        # Fact codes were validated by Domain.encode and dimension codes
+        # come from validated tables, so skip the per-batch range scan.
+        return CategoricalMatrix(
+            np.stack(columns, axis=1), levels, self.feature_names,
+            validate=False,
+        )
+
+    def assemble_table(self, fact_rows: Table) -> CategoricalMatrix:
+        """Assemble features for rows shaped like the fact table."""
+        return self.assemble(
+            {column: fact_rows.codes(column) for column in self.required_columns}
+        )
+
+    def assemble_rows(
+        self, rows: Sequence[Mapping[str, object]]
+    ) -> CategoricalMatrix:
+        """Encode label-valued request rows and assemble their features."""
+        return self.assemble(self.encode_requests(rows))
+
+    def encode_shard(self, fact_rows: Table) -> tuple[CategoricalMatrix, np.ndarray]:
+        """One block of fact rows as an encoded ``(X, y)`` pair.
+
+        The training-side entry point: the same assembly the serving
+        path runs per micro-batch, plus the target codes read straight
+        off the fact block (labels never pass through a join).
+        """
+        return (
+            self.assemble_table(fact_rows),
+            fact_rows.codes(self.schema.target),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(strategy={self.strategy.name!r}, "
+            f"{len(self.feature_names)} features, "
+            f"joined={list(self.joined_dimensions)}, {self.cache.stats})"
+        )

@@ -1,0 +1,116 @@
+"""Background shard prefetching behind a bounded queue.
+
+Shard production (CSV parsing, per-shard KFK joins, categorical
+encoding) and shard consumption (FISTA gradient passes, histogram
+accumulation) are serialised in a plain loop: the optimiser idles while
+the next shard is read.  :class:`PrefetchingSource` overlaps the two
+with one worker thread per iteration pass, pulling shards from the
+wrapped source into a bounded queue while the consumer works on the
+current one.
+
+Invariants, enforced by ``tests/test_data_prefetch.py``:
+
+- **Determinism** — shards arrive in exactly the order the wrapped
+  source would have produced them, byte for byte.
+- **Exception propagation** — an exception raised while producing a
+  shard is re-raised in the consumer with the worker's original
+  traceback attached.
+- **Clean cancellation** — abandoning the iterator mid-pass (``break``,
+  ``close()``, an exception in the consumer) wakes the worker, drains
+  the queue, and joins the thread before control returns; no daemon
+  threads outlive the pass.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.source import FeatureSource, SourceDecorator
+
+#: How long a blocked worker waits before re-checking for cancellation.
+_POLL_SECONDS = 0.05
+
+_DONE = "done"
+_SHARD = "shard"
+_ERROR = "error"
+
+
+class PrefetchingSource(SourceDecorator):
+    """Prefetch the wrapped source's shards on a background thread.
+
+    Parameters
+    ----------
+    source:
+        Any :class:`FeatureSource`.
+    depth:
+        Maximum shards resident in the hand-off queue (beyond the one
+        the consumer holds).  Peak memory grows by ``depth`` shards —
+        keep it small; the default of 2 already hides production
+        latency behind consumption.
+    """
+
+    def __init__(self, source: FeatureSource, depth: int = 2):
+        if depth < 1:
+            raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+        super().__init__(source)
+        self.depth = depth
+
+    def iter_shards(
+        self, order: Sequence[int] | np.ndarray | None = None
+    ) -> Iterator[tuple[int, "CategoricalMatrix", np.ndarray]]:  # noqa: F821
+        handoff: queue.Queue = queue.Queue(maxsize=self.depth)
+        cancelled = threading.Event()
+
+        def produce() -> None:
+            try:
+                for item in self.source.iter_shards(order):
+                    if not _put(handoff, (_SHARD, item), cancelled):
+                        return
+                _put(handoff, (_DONE, None), cancelled)
+            except BaseException as error:  # propagated, not swallowed
+                _put(handoff, (_ERROR, error), cancelled)
+
+        worker = threading.Thread(
+            target=produce, name="repro-prefetch", daemon=False
+        )
+        worker.start()
+        try:
+            while True:
+                kind, item = handoff.get()
+                if kind == _DONE:
+                    return
+                if kind == _ERROR:
+                    # ``raise item`` keeps the worker's traceback on the
+                    # exception object, so the consumer sees the real
+                    # failure site, not this re-raise.
+                    raise item
+                yield item
+        finally:
+            cancelled.set()
+            # A worker blocked on a full queue re-checks `cancelled`
+            # every poll interval; draining just speeds that up.
+            while worker.is_alive():
+                try:
+                    handoff.get_nowait()
+                except queue.Empty:
+                    pass
+                worker.join(timeout=_POLL_SECONDS)
+            worker.join()
+
+    def __repr__(self) -> str:
+        return f"PrefetchingSource({self.source!r}, depth={self.depth})"
+
+
+def _put(handoff: queue.Queue, item, cancelled: threading.Event) -> bool:
+    """Enqueue unless the pass is cancelled; returns False on cancel."""
+    while not cancelled.is_set():
+        try:
+            handoff.put(item, timeout=_POLL_SECONDS)
+            return True
+        except queue.Full:
+            continue
+    return False

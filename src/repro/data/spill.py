@@ -1,0 +1,179 @@
+"""A disk-spilling LRU cache of encoded shards.
+
+Multi-pass consumers — exact FISTA makes one full pass over the shards
+*per iteration* — force out-of-core sources to re-produce every shard
+hundreds of times.  For a CSV-backed source each production is a seek,
+a text parse, a per-column domain encode and a KFK join; all of it
+yields the same bytes every time.  :class:`SpillCacheSource` intercepts
+:meth:`shard` and keeps each shard's encoded form — the integer code
+matrix and the label vector, exactly the arrays training consumes — in
+an ``.npz`` file, bounded by an LRU byte budget.  Re-reads become one
+``np.load`` instead of a re-parse and re-join, while peak *memory*
+stays one shard: the cache spills to disk, not to RAM.
+
+The decorator contract holds: cached shards are byte-identical to what
+the wrapped source produces (``tests/test_data_spill.py`` asserts it),
+so training results cannot depend on whether a shard came from the
+cache or the source.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.source import FeatureSource, SourceDecorator
+
+
+@dataclass
+class SpillStats:
+    """Hit/miss/eviction accounting for one spill cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    spilled_bytes: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"spill cache: {self.hits} hits / {self.misses} misses, "
+            f"{self.evictions} evictions, {self.spilled_bytes} bytes on disk"
+        )
+
+
+class SpillCacheSource(SourceDecorator):
+    """Cache the wrapped source's encoded shards on disk, LRU-bounded.
+
+    Parameters
+    ----------
+    source:
+        Any :class:`FeatureSource`.  Wrapping an already-cheap source
+        (an in-memory :class:`MatrixSource`) is allowed and harmless —
+        single-shard sources pass straight through uncached, since the
+        one shard is already resident — while the win comes from
+        multi-shard sources whose :meth:`shard` re-reads and re-encodes
+        external data.
+    directory:
+        Where shard files live.  ``None`` creates a private temporary
+        directory that :meth:`close` deletes; an explicit directory is
+        created if needed and left in place (only the shard files this
+        cache wrote are removed on close).
+    max_bytes:
+        LRU byte budget for the on-disk cache; ``None`` means
+        unbounded.  Eviction is by least-recent *use*, so a sequential
+        multi-pass workload keeps the hottest tail resident.
+    """
+
+    def __init__(
+        self,
+        source: FeatureSource,
+        directory: str | Path | None = None,
+        max_bytes: int | None = None,
+    ):
+        super().__init__(source)
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._owns_directory = directory is None
+        if directory is None:
+            self.directory = Path(tempfile.mkdtemp(prefix="repro-spill-"))
+        else:
+            self.directory = Path(directory)
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = SpillStats()
+        self._entries: OrderedDict[int, int] = OrderedDict()  # index -> bytes
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Cache mechanics
+    # ------------------------------------------------------------------
+    def _path(self, index: int) -> Path:
+        return self.directory / f"shard-{index:08d}.npz"
+
+    def shard(self, index: int):
+        if self._closed:
+            raise ValueError("cannot read from a closed SpillCacheSource")
+        if self.source.n_shards <= 1:
+            # A single-shard source is already its own best cache (the
+            # in-memory adapters and StreamingMatrices both keep the one
+            # shard resident, and multi-pass consumers key encoding
+            # memos on object identity); spilling it would replace a
+            # resident object with a disk re-load per pass.
+            return self.source.shard(index)
+        if index in self._entries:
+            self._entries.move_to_end(index)
+            self.stats.hits += 1
+            return self._load(index)
+        self.stats.misses += 1
+        X, y = self.source.shard(index)
+        self._store(index, X, y)
+        return X, y
+
+    def _load(self, index: int):
+        # Local import: keeps repro.data.source importable from within
+        # repro.ml's own module initialisation (see repro.data.__init__).
+        from repro.ml.encoding import CategoricalMatrix
+
+        with np.load(self._path(index)) as archive:
+            codes = archive["codes"]
+            y = archive["y"]
+        # Codes round-trip exactly and were validated when the source
+        # produced them, so skip the range re-scan.
+        X = CategoricalMatrix(
+            codes, self.n_levels, self.feature_names, validate=False
+        )
+        return X, y
+
+    def _store(self, index: int, X, y) -> None:
+        path = self._path(index)
+        with path.open("wb") as handle:
+            np.savez(handle, codes=X.codes, y=np.asarray(y))
+        size = path.stat().st_size
+        self._entries[index] = size
+        self.stats.spilled_bytes += size
+        if self.max_bytes is None:
+            return
+        while (
+            sum(self._entries.values()) > self.max_bytes
+            and len(self._entries) > 1
+        ):
+            self._evict()
+        # A budget smaller than a single shard disables caching rather
+        # than erroring: the freshly written entry is dropped too.
+        if self._entries and sum(self._entries.values()) > self.max_bytes:
+            self._evict()
+
+    def _evict(self) -> None:
+        index, size = self._entries.popitem(last=False)
+        self._path(index).unlink(missing_ok=True)
+        self.stats.evictions += 1
+        self.stats.spilled_bytes -= size
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of shards currently resident on disk."""
+        return len(self._entries)
+
+    def close(self) -> None:
+        """Drop the cached files (and the owned directory), close inner."""
+        if not self._closed:
+            self._closed = True
+            for index in list(self._entries):
+                self._path(index).unlink(missing_ok=True)
+            self._entries.clear()
+            if self._owns_directory:
+                shutil.rmtree(self.directory, ignore_errors=True)
+        self.source.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SpillCacheSource({self.source!r}, dir={str(self.directory)!r}, "
+            f"{self.stats})"
+        )

@@ -38,8 +38,8 @@ from repro.experiments.runner import (
     fit_pipeline,
     make_streaming_model,
     run_experiment,
-    run_inmemory_experiment,
-    run_streaming_experiment,
+    split_accuracy,
+    streaming_model_display,
 )
 from repro.experiments.simulation import MonteCarloResult, run_monte_carlo, sweep
 
@@ -64,9 +64,9 @@ __all__ = [
     "make_streaming_model",
     "run_compression_experiment",
     "run_experiment",
-    "run_inmemory_experiment",
     "run_monte_carlo",
     "run_smoothing_experiment",
-    "run_streaming_experiment",
+    "split_accuracy",
+    "streaming_model_display",
     "sweep",
 ]

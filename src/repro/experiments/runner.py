@@ -22,6 +22,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.core.strategies import JoinStrategy, StrategyMatrices
+from repro.data import SourceSpec, source_accuracy
 from repro.datasets.splits import SplitDataset
 from repro.experiments.config import Scale, get_scale
 from repro.ml import (
@@ -295,7 +296,26 @@ def fit_pipeline(
 
 
 #: Models with an out-of-core training path (see :mod:`repro.streaming`).
-STREAMABLE_MODELS = ("lr_l1", "ann")
+STREAMABLE_MODELS = (
+    "lr_l1",
+    "ann",
+    "nb",
+    "dt_gini",
+    "dt_entropy",
+    "dt_gain_ratio",
+)
+
+#: Display names for streamable keys without a same-named registry entry
+#: (streaming NB fits a single smoothing configuration, not the
+#: backward-feature-selection tuner behind ``nb_bfs``).
+_STREAM_DISPLAYS = {"nb": "Naive Bayes"}
+
+
+def streaming_model_display(model_key: str) -> str:
+    """Table-header name of a streamable model configuration."""
+    if model_key in _STREAM_DISPLAYS:
+        return _STREAM_DISPLAYS[model_key]
+    return MODEL_REGISTRY[model_key].display
 
 
 def make_streaming_model(
@@ -307,7 +327,9 @@ def make_streaming_model(
     grid — hyper-parameter search over larger-than-RAM data would
     multiply full passes by the grid size.  The MLP follows the scale
     profile's topology and epoch budget; the logistic model uses the
-    paper's ``maxit=10000`` cap with early stopping at ``tol``.
+    paper's ``maxit=10000`` cap with early stopping at ``tol``; Naive
+    Bayes streams its counts and the trees their split histograms
+    exactly, so no configuration differs from the in-memory one.
     """
     scale = scale or get_scale()
     if model_key == "lr_l1":
@@ -318,101 +340,67 @@ def make_streaming_model(
             epochs=scale.ann_epochs,
             random_state=seed,
         )
+    if model_key == "nb":
+        return CategoricalNB(alpha=1.0)
+    if model_key in ("dt_gini", "dt_entropy", "dt_gain_ratio"):
+        criterion = model_key.removeprefix("dt_")
+        return DecisionTreeClassifier(
+            criterion=criterion, unseen="majority", random_state=seed
+        )
     raise ValueError(
         f"model {model_key!r} has no streaming path; streamable models: "
         f"{list(STREAMABLE_MODELS)}"
     )
 
 
-def run_streaming_experiment(
+def split_accuracy(model, source) -> float:
+    """Accuracy of a fitted model over one split's :class:`FeatureSource`.
+
+    The single scoring helper shared by every experiment path (it *is*
+    :func:`repro.data.source_accuracy`): hits accumulate shard by
+    shard, so scoring an out-of-core split has the same bounded
+    footprint as training on it, and scoring an in-memory split is the
+    plain full-matrix accuracy.
+    """
+    return source_accuracy(model, source)
+
+
+def _run_source_experiment(
     dataset: SplitDataset,
     model_key: str,
     strategy: JoinStrategy,
-    shard_rows: int | None = None,
-    n_shards: int | None = None,
-    scale: Scale | None = None,
-    seed: int = 0,
+    spec: SourceSpec,
+    scale: Scale | None,
+    seed: int,
 ) -> RunResult:
-    """Train and score one cell entirely out of core.
-
-    The strategy's matrices are assembled shard by shard for training
-    *and* for scoring every split, so peak memory is bounded by
-    ``shard_rows`` (plus width-sized model state) rather than the fact
-    table.  With a single shard the result is bit-identical to
-    :func:`run_inmemory_experiment` on the same model.
-    """
+    """One single-configuration cell over :class:`SourceSpec`-built sources."""
     from repro.streaming import StreamingTrainer
 
     scale = scale or get_scale()
     model = make_streaming_model(model_key, scale, seed)
     started = time.perf_counter()
-    train_stream = strategy.streaming_matrices(
-        dataset, shard_rows=shard_rows, n_shards=n_shards, split="train"
-    )
-    trainer = StreamingTrainer(model, seed=seed)
-    trainer.fit(train_stream)
-
-    def split_accuracy(split: str) -> float:
-        return trainer.score(
-            strategy.streaming_matrices(
-                dataset, shard_rows=shard_rows, n_shards=n_shards, split=split
-            )
+    sources = spec.split_sources(dataset, strategy)
+    try:
+        trainer = StreamingTrainer(model, seed=seed)
+        trainer.fit(sources["train"])
+        result = RunResult(
+            dataset=dataset.name,
+            model=streaming_model_display(model_key),
+            strategy=strategy.name,
+            test_accuracy=split_accuracy(model, sources["test"]),
+            train_accuracy=split_accuracy(model, sources["train"]),
+            validation_accuracy=split_accuracy(model, sources["validation"]),
+            seconds=0.0,
+            n_features=sources["train"].n_features,
+            best_params={
+                **spec.describe(),
+                "shard_rows": sources["train"].shard_rows,
+                "n_shards": sources["train"].n_shards,
+            },
         )
-
-    result = RunResult(
-        dataset=dataset.name,
-        model=MODEL_REGISTRY[model_key].display,
-        strategy=strategy.name,
-        test_accuracy=split_accuracy("test"),
-        # Reuse the training stream (and its single-shard cache) rather
-        # than assembling the split a second time.
-        train_accuracy=trainer.score(train_stream),
-        validation_accuracy=split_accuracy("validation"),
-        seconds=0.0,
-        n_features=train_stream.n_features,
-        best_params={
-            "streaming": True,
-            "shard_rows": train_stream.sharded.shard_rows,
-            "n_shards": train_stream.n_shards,
-        },
-    )
-    result.seconds = time.perf_counter() - started
-    return result
-
-
-def run_inmemory_experiment(
-    dataset: SplitDataset,
-    model_key: str,
-    strategy: JoinStrategy,
-    scale: Scale | None = None,
-    seed: int = 0,
-) -> RunResult:
-    """The in-memory twin of :func:`run_streaming_experiment`.
-
-    Fits the *same* single model configuration on fully materialised
-    matrices — the baseline the streaming path is equivalent to, and
-    the comparison ``repro fit`` prints with and without ``--stream``.
-    (:func:`run_experiment` remains the tuned-grid harness for the
-    paper's tables.)
-    """
-    scale = scale or get_scale()
-    model = make_streaming_model(model_key, scale, seed)
-    started = time.perf_counter()
-    matrices = strategy.matrices(dataset)
-    model.fit(matrices.X_train, matrices.y_train)
-    result = RunResult(
-        dataset=dataset.name,
-        model=MODEL_REGISTRY[model_key].display,
-        strategy=strategy.name,
-        test_accuracy=model.score(matrices.X_test, matrices.y_test),
-        train_accuracy=model.score(matrices.X_train, matrices.y_train),
-        validation_accuracy=model.score(
-            matrices.X_validation, matrices.y_validation
-        ),
-        seconds=0.0,
-        n_features=matrices.X_train.n_features,
-        best_params={"streaming": False},
-    )
+    finally:
+        for source in sources.values():
+            source.close()
     result.seconds = time.perf_counter() - started
     return result
 
@@ -423,14 +411,41 @@ def run_experiment(
     strategy: JoinStrategy,
     scale: Scale | None = None,
     matrices: StrategyMatrices | None = None,
+    source: SourceSpec | None = None,
+    seed: int = 0,
 ) -> RunResult:
     """Run one experiment cell end to end.
 
-    A thin wrapper over :func:`fit_pipeline` that immediately scores the
-    pipeline and discards it.  The reported time covers feature
-    materialisation, the full grid search, refit and test-set scoring —
-    the paper's Figure 1 quantity.
+    With ``source=None`` (the default) this is the paper's tuned
+    harness: a thin wrapper over :func:`fit_pipeline` that immediately
+    scores the pipeline and discards it.  The reported time covers
+    feature materialisation, the full grid search, refit and test-set
+    scoring — the paper's Figure 1 quantity.
+
+    With a :class:`repro.data.SourceSpec`, the cell instead fits the
+    single :func:`make_streaming_model` configuration over the spec's
+    per-split :class:`~repro.data.FeatureSource`\\ s — in memory for
+    ``SourceSpec()``, out of core for a sharded spec, with optional
+    prefetch/spill-cache decorators — and scores every split through
+    the shared :func:`split_accuracy`.  This subsumes the
+    ``run_inmemory_experiment`` / ``run_streaming_experiment`` pair of
+    earlier revisions: a sharded spec with a single shard is
+    bit-identical to the in-memory spec on the same model.
+
+    ``seed`` feeds the source path's model and shard-order RNGs only.
+    The tuned path pins its tuners to the paper's fixed
+    ``random_state=0`` grids and ignores ``seed``; vary the dataset
+    generation seed to resample a tuned cell.
     """
+    if source is not None:
+        if matrices is not None:
+            raise ValueError(
+                "matrices= belongs to the tuned path; a SourceSpec builds "
+                "its own per-split sources — pass one or the other"
+            )
+        return _run_source_experiment(
+            dataset, model_key, strategy, source, scale, seed
+        )
     started = time.perf_counter()
     pipeline = fit_pipeline(
         dataset, model_key, strategy, scale=scale, matrices=matrices

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.data.source import MatrixSource
 from repro.ml import sparse
 from repro.ml.base import Estimator, check_fitted, check_X_y
 from repro.ml.encoding import CategoricalMatrix
@@ -77,10 +78,10 @@ def _lipschitz_bound(X, seed: int = 0, iterations: int = 30) -> float:
 class _EncodingMemo:
     """Size-1 encoding cache keyed on matrix object identity.
 
-    An in-memory stream (:class:`_SingleShardStream`) yields the *same*
-    :class:`CategoricalMatrix` object every pass, so its encoding is
-    built once — matching the pre-streaming cost of ``fit``.  Out-of-
-    core streams yield fresh shard objects each pass and re-encode, as
+    An in-memory source (:class:`repro.data.MatrixSource`) yields the
+    *same* :class:`CategoricalMatrix` object every pass, so its encoding
+    is built once — matching the pre-streaming cost of ``fit``.  Out-of-
+    core sources yield fresh shard objects each pass and re-encode, as
     they must: holding every shard's encoding would unbound memory.
     """
 
@@ -131,39 +132,6 @@ def _lipschitz_bound_stream(
     return max(sigma / (4.0 * n), 1e-12)
 
 
-class _SingleShardStream:
-    """Adapts one in-memory ``(X, y)`` pair to the shard-stream protocol.
-
-    The protocol ``fit_stream`` consumes: ``n_rows`` (total examples),
-    ``n_features`` (categorical columns), ``onehot_width`` (encoded
-    width), and re-iterable ``__iter__`` yielding
-    ``(CategoricalMatrix, labels)`` shards in a stable order.
-    :class:`repro.streaming.StreamingMatrices` implements the same
-    protocol for out-of-core shard sources.
-    """
-
-    __slots__ = ("X", "y")
-
-    def __init__(self, X: CategoricalMatrix, y: np.ndarray):
-        self.X = X
-        self.y = y
-
-    @property
-    def n_rows(self) -> int:
-        return self.X.n_rows
-
-    @property
-    def n_features(self) -> int:
-        return self.X.n_features
-
-    @property
-    def onehot_width(self) -> int:
-        return self.X.onehot_width
-
-    def __iter__(self):
-        yield self.X, self.y
-
-
 class L1LogisticRegression(Estimator):
     """Binary logistic regression with an L1 penalty.
 
@@ -206,9 +174,7 @@ class L1LogisticRegression(Estimator):
         warm_start: tuple[np.ndarray, float] | None = None,
     ) -> "L1LogisticRegression":
         y = check_X_y(X, y)
-        return self.fit_stream(
-            _SingleShardStream(X, y), warm_start=warm_start
-        )
+        return self.fit_stream(MatrixSource(X, y), warm_start=warm_start)
 
     def fit_stream(
         self,
@@ -217,10 +183,10 @@ class L1LogisticRegression(Estimator):
     ) -> "L1LogisticRegression":
         """Fit with exact FISTA, visiting the data as bounded shards.
 
-        ``stream`` follows the shard-stream protocol (see
-        :class:`_SingleShardStream`): ``n_rows``, ``onehot_width`` and a
-        re-iterable ``__iter__`` of ``(CategoricalMatrix, labels)``
-        pairs in stable order.  Each FISTA iteration makes one pass over
+        ``stream`` is any :class:`repro.data.FeatureSource` (the exact
+        attributes used: ``n_rows``, ``onehot_width``, ``n_features``
+        and a re-iterable ``__iter__`` of ``(CategoricalMatrix, labels)``
+        pairs in stable order).  Each FISTA iteration makes one pass over
         the shards, accumulating the full-batch gradient; between shards
         only width-sized state is held, so peak memory is bounded by the
         largest shard regardless of ``n_rows``.  The iterates are the

@@ -4,6 +4,16 @@ One of the paper's linear(-capacity) baselines, inherited from the
 original Hamlet study.  Works directly on integer codes; Laplace
 pseudocounts over the *closed* domain mean prediction is defined for any
 valid code, including levels never seen in training.
+
+The sufficient statistics are pure counts, so training streams exactly:
+:meth:`CategoricalNB.partial_fit` adds one shard's class and
+(feature level, class) counts to running integer accumulators and
+re-derives the smoothed log-probabilities, and
+:meth:`CategoricalNB.fit_stream` drives it over any
+:class:`repro.data.FeatureSource`.  Integer accumulation is associative,
+so a shard-streamed fit is **bit-identical** to the in-memory fit for
+every shard layout — not merely close — and ``fit`` itself is one
+``partial_fit`` call on a fresh model.
 """
 
 from __future__ import annotations
@@ -30,26 +40,109 @@ class CategoricalNB(Estimator):
         self.alpha = alpha
 
     def fit(self, X: CategoricalMatrix, y: np.ndarray) -> "CategoricalNB":
+        check_X_y(X, y)
+        self._reset()
+        return self.partial_fit(X, y)
+
+    def fit_stream(self, source) -> "CategoricalNB":
+        """Fit from a :class:`repro.data.FeatureSource`, one shard at a time.
+
+        A label scan fixes ``n_classes`` up front (the same
+        ``max(y) + 1`` an in-memory fit sees, even when a shard lacks
+        some class), then one pass accumulates counts.  Bit-identical
+        to :meth:`fit` on the concatenated data, per the module
+        docstring.
+        """
+        self._reset()
+        labels = source.labels()
+        if labels.size == 0:
+            raise ValueError("cannot fit on zero examples")
+        n_classes = max(int(labels.max()) + 1, 2)
+        for X, y in source:
+            self.partial_fit(X, y, n_classes=n_classes)
+        return self
+
+    def partial_fit(
+        self,
+        X: CategoricalMatrix,
+        y: np.ndarray,
+        n_classes: int | None = None,
+    ) -> "CategoricalNB":
+        """Accumulate one shard's counts and refresh the log-probabilities.
+
+        The first call sizes the accumulators (``n_classes`` defaults to
+        what ``y`` shows — pass it explicitly when the first shard might
+        not contain every class); later calls add counts.  The model is
+        usable after every call: the smoothed log-probabilities are
+        recomputed from the running totals, so after the final shard
+        they equal an in-memory fit's exactly.
+        """
         y = check_X_y(X, y)
         if self.alpha < 0:
             raise ValueError(f"alpha must be >= 0, got {self.alpha}")
-        self.n_classes_ = max(int(y.max()) + 1, 2)
-        self.n_levels_ = X.n_levels
-        self.feature_names_ = X.names
-        class_counts = np.bincount(y, minlength=self.n_classes_)
+        if not hasattr(self, "class_count_"):
+            if n_classes is None:
+                n_classes = max(int(y.max()) + 1, 2)
+            elif n_classes < 2:
+                raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+            self.n_classes_ = int(n_classes)
+            self.n_levels_ = X.n_levels
+            self.feature_names_ = X.names
+            self.class_count_ = np.zeros(self.n_classes_, dtype=np.int64)
+            self.feature_count_ = [
+                np.zeros((self.n_classes_, k), dtype=np.int64)
+                for k in X.n_levels
+            ]
+        else:
+            if X.n_levels != self.n_levels_:
+                raise ValueError(
+                    f"shard has feature levels {X.n_levels}, model was "
+                    f"initialised with {self.n_levels_}; shards must share "
+                    f"closed domains"
+                )
+            if n_classes is not None and int(n_classes) != self.n_classes_:
+                raise ValueError(
+                    f"model was initialised with {self.n_classes_} classes, "
+                    f"got n_classes={n_classes}"
+                )
+        if int(y.max()) >= self.n_classes_:
+            raise ValueError(
+                f"label {int(y.max())} out of range for "
+                f"{self.n_classes_} classes"
+            )
+        self.class_count_ += np.bincount(y, minlength=self.n_classes_)
+        for j in range(X.n_features):
+            k = self.n_levels_[j]
+            self.feature_count_[j] += np.bincount(
+                y * k + X.codes[:, j], minlength=self.n_classes_ * k
+            ).reshape(self.n_classes_, k)
+        self._finalize()
+        return self
+
+    def _reset(self) -> None:
+        """Drop learned state so a new training session starts fresh."""
+        for attribute in (
+            "class_count_",
+            "feature_count_",
+            "class_log_prior_",
+            "feature_log_prob_",
+            "n_classes_",
+            "n_levels_",
+            "feature_names_",
+        ):
+            if hasattr(self, attribute):
+                delattr(self, attribute)
+
+    def _finalize(self) -> None:
+        """Smoothed log-probabilities from the running count totals."""
+        class_counts = self.class_count_
         # Uniform prior smoothing keeps empty classes finite.
         self.class_log_prior_ = np.log(
             (class_counts + self.alpha)
             / (class_counts.sum() + self.alpha * self.n_classes_)
         )
-        self.feature_log_prob_: list[np.ndarray] = []
-        for j in range(X.n_features):
-            k = X.n_levels[j]
-            counts = np.zeros((self.n_classes_, k), dtype=np.float64)
-            flat = np.bincount(
-                y * k + X.codes[:, j], minlength=self.n_classes_ * k
-            ).reshape(self.n_classes_, k)
-            counts += flat
+        self.feature_log_prob_ = []
+        for counts in self.feature_count_:
             smoothed = counts + self.alpha
             denom = smoothed.sum(axis=1, keepdims=True)
             if self.alpha == 0:
@@ -57,7 +150,6 @@ class CategoricalNB(Estimator):
                 smoothed = np.maximum(smoothed, 1e-12)
                 denom = smoothed.sum(axis=1, keepdims=True)
             self.feature_log_prob_.append(np.log(smoothed / denom))
-        return self
 
     def _joint_log_likelihood(self, X: CategoricalMatrix) -> np.ndarray:
         check_fitted(self, "class_log_prior_")

@@ -20,11 +20,22 @@ Unseen-level behaviour at prediction time is explicit: ``unseen='error'``
 reproduces the R crash the paper reports for foreign-key features
 (Section 6.2); ``unseen='majority'`` routes unseen levels down the
 heavier branch at each split.
+
+Split search consumes only per-node *histograms* — for each feature, a
+``(levels, classes)`` count matrix — never the rows themselves.  That
+makes training streamable: :meth:`DecisionTreeClassifier.fit_stream`
+grows the tree breadth-first over any :class:`repro.data.FeatureSource`,
+accumulating each frontier node's histograms with one ``bincount`` per
+(shard, feature) pass and deciding all of a level's splits at once.
+Integer histograms are associative over shards, so the streamed tree's
+splits are **identical** to the in-memory tree's — ``fit`` and
+``fit_stream`` share one split-scoring routine
+(:meth:`_best_split_from_stats`) on the same counts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -153,6 +164,149 @@ class DecisionTreeClassifier(Estimator):
         self.split_counts_ = self._count_splits()
         return self
 
+    def fit_stream(self, source) -> "DecisionTreeClassifier":
+        """Grow the tree over a :class:`repro.data.FeatureSource`.
+
+        Breadth-first histogram streaming: a first pass collects the
+        label counts, seen levels and row total; then each tree level
+        costs one pass over the shards, routing every row through the
+        partial tree to its frontier node and accumulating per-node
+        per-feature ``(levels, classes)`` histograms.  All of a level's
+        split decisions are made from the summed histograms by the same
+        :meth:`_best_split_from_stats` the in-memory ``fit`` uses, so
+        the streamed tree's splits are identical to the in-memory
+        tree's for every shard layout; only the pass structure differs
+        (``depth + 1`` passes instead of one resident matrix).  Peak
+        state between shards is the frontier's histograms — bounded by
+        tree width, not by ``n_rows``.
+        """
+        self._validate_hyperparameters()
+        self._reset()
+        names = tuple(source.feature_names)
+        n_levels = tuple(int(k) for k in source.n_levels)
+        impurity = impurity_function(self.criterion)
+
+        # Pass 0: label counts, per-feature seen levels, total rows.
+        label_counts = np.zeros(0, dtype=np.int64)
+        seen = [np.zeros(k, dtype=bool) for k in n_levels]
+        n_total = 0
+        for X, y in source:
+            y = check_X_y(X, y)
+            if tuple(X.n_levels) != n_levels:
+                raise ValueError(
+                    f"shard has feature levels {X.n_levels}, source "
+                    f"advertises {n_levels}; shards must share closed domains"
+                )
+            shard_counts = np.bincount(y)
+            if shard_counts.size > label_counts.size:
+                shard_counts[: label_counts.size] += label_counts
+                label_counts = shard_counts
+            else:
+                label_counts[: shard_counts.size] += shard_counts
+            for j in range(len(n_levels)):
+                seen[j][np.unique(X.codes[:, j])] = True
+            n_total += y.size
+        if n_total == 0:
+            raise ValueError("cannot fit on zero examples")
+
+        self.n_classes_ = max(int(label_counts.size), 2)
+        self.feature_names_ = names
+        self.n_levels_ = n_levels
+        self.seen_levels_ = seen
+        root_counts = np.zeros(self.n_classes_, dtype=np.int64)
+        root_counts[: label_counts.size] = label_counts
+        self._root_impurity = float(impurity(root_counts))
+        self._n_total = n_total
+        root = TreeNode(
+            counts=root_counts,
+            prediction=int(np.argmax(root_counts)),
+            depth=0,
+        )
+        self.root_ = root
+
+        # One pass per level: accumulate the frontier's histograms, then
+        # split every frontier node from the totals.
+        frontier = [root] if self._splittable(root_counts, 0) else []
+        while frontier:
+            stats = {
+                id(node): [
+                    np.zeros((k, self.n_classes_), dtype=np.int64)
+                    for k in n_levels
+                ]
+                for node in frontier
+            }
+            for X, y in source:
+                self._accumulate_stats(
+                    root, X, np.asarray(y), np.arange(X.n_rows), stats
+                )
+            next_frontier: list[TreeNode] = []
+            for node in frontier:
+                best = self._best_split_from_stats(stats[id(node)], node.counts)
+                if best is None or not self._passes_cp(best):
+                    continue  # stays a leaf
+                node.feature = best.feature
+                node.goes_left = best.goes_left
+                node.gain = best.weighted_gain
+                for child_counts, side in (
+                    (best.left_counts, "left"),
+                    (best.right_counts, "right"),
+                ):
+                    # Prefix sums of integer histograms are exact; store
+                    # them as the int64 counts the in-memory path keeps.
+                    counts = np.asarray(np.rint(child_counts), dtype=np.int64)
+                    child = TreeNode(
+                        counts=counts,
+                        prediction=int(np.argmax(counts)),
+                        depth=node.depth + 1,
+                    )
+                    setattr(node, side, child)
+                    if self._splittable(counts, child.depth):
+                        next_frontier.append(child)
+            frontier = next_frontier
+        self.split_counts_ = self._count_splits()
+        return self
+
+    def _accumulate_stats(
+        self,
+        node: TreeNode,
+        X: CategoricalMatrix,
+        y: np.ndarray,
+        rows: np.ndarray,
+        stats: dict[int, list[np.ndarray]],
+    ) -> None:
+        """Route one shard's rows to the frontier, summing histograms."""
+        if rows.size == 0:
+            return
+        bucket = stats.get(id(node))
+        if bucket is not None:
+            y_rows = y[rows]
+            for j, k in enumerate(self.n_levels_):
+                bucket[j] += np.bincount(
+                    X.codes[rows, j] * self.n_classes_ + y_rows,
+                    minlength=k * self.n_classes_,
+                ).reshape(k, self.n_classes_)
+            return
+        if node.is_leaf:
+            return
+        mask = node.goes_left[X.codes[rows, node.feature]]
+        self._accumulate_stats(node.left, X, y, rows[mask], stats)
+        self._accumulate_stats(node.right, X, y, rows[~mask], stats)
+
+    def _reset(self) -> None:
+        """Drop learned state so a new training session starts fresh."""
+        for attribute in (
+            "root_",
+            "split_counts_",
+            "seen_levels_",
+            "feature_names_",
+            "n_levels_",
+            "n_classes_",
+            "_root_impurity",
+            "_n_total",
+        ):
+            if hasattr(self, attribute):
+                delattr(self, attribute)
+
     def _validate_hyperparameters(self) -> None:
         if self.criterion not in ("gini", "entropy", "gain_ratio"):
             raise ValueError(f"unknown criterion {self.criterion!r}")
@@ -182,22 +336,10 @@ class DecisionTreeClassifier(Estimator):
             prediction=int(np.argmax(counts)),
             depth=depth,
         )
-        if (
-            rows.size < self.minsplit
-            or np.count_nonzero(counts) <= 1
-            or (self.max_depth is not None and depth >= self.max_depth)
-        ):
+        if not self._splittable(counts, depth):
             return node
         best = self._find_best_split(X, y, rows, counts)
-        if best is None:
-            return node
-        # rpart-style complexity pruning: the split's impurity decrease,
-        # normalised by root impurity and total training size, must reach cp.
-        if self._root_impurity > 0:
-            relative_gain = best.weighted_gain / (self._root_impurity * self._n_total)
-            if relative_gain < self.cp:
-                return node
-        elif self.cp > 0:
+        if best is None or not self._passes_cp(best):
             return node
         mask = best.goes_left[X.codes[rows, best.feature]]
         node.feature = best.feature
@@ -207,6 +349,36 @@ class DecisionTreeClassifier(Estimator):
         node.right = self._build(X, y, rows[~mask], depth + 1)
         return node
 
+    def _splittable(self, counts: np.ndarray, depth: int) -> bool:
+        """Whether a node with these class counts may attempt a split."""
+        return (
+            int(counts.sum()) >= self.minsplit
+            and np.count_nonzero(counts) > 1
+            and (self.max_depth is None or depth < self.max_depth)
+        )
+
+    def _passes_cp(self, best: _BestSplit) -> bool:
+        """rpart-style complexity pruning: the split's impurity decrease,
+        normalised by root impurity and total training size, must reach cp."""
+        if self._root_impurity > 0:
+            relative_gain = best.weighted_gain / (
+                self._root_impurity * self._n_total
+            )
+            return relative_gain >= self.cp
+        return self.cp <= 0
+
+    def _node_histograms(
+        self, X: CategoricalMatrix, y_node: np.ndarray, rows: np.ndarray
+    ) -> list[np.ndarray]:
+        """Per-feature ``(levels, classes)`` count matrices of one node."""
+        return [
+            np.bincount(
+                X.codes[rows, j] * self.n_classes_ + y_node,
+                minlength=X.n_levels[j] * self.n_classes_,
+            ).reshape(X.n_levels[j], self.n_classes_)
+            for j in range(X.n_features)
+        ]
+
     def _find_best_split(
         self,
         X: CategoricalMatrix,
@@ -214,18 +386,29 @@ class DecisionTreeClassifier(Estimator):
         rows: np.ndarray,
         node_counts: np.ndarray,
     ) -> _BestSplit | None:
+        return self._best_split_from_stats(
+            self._node_histograms(X, y[rows], rows), node_counts
+        )
+
+    def _best_split_from_stats(
+        self, stats: list[np.ndarray], node_counts: np.ndarray
+    ) -> _BestSplit | None:
+        """Best binary subset split given per-feature histograms.
+
+        ``stats[j]`` is the ``(levels, classes)`` integer count matrix of
+        feature ``j`` over the node's rows — computed directly by the
+        in-memory path, accumulated shard by shard by the streaming one.
+        Both paths therefore score byte-identical counts with identical
+        arithmetic, which is the histogram-streaming equivalence
+        guarantee.
+        """
         impurity = impurity_function(self.criterion)
         node_impurity = float(impurity(node_counts))
-        n_node = rows.size
-        y_node = y[rows]
+        n_node = int(node_counts.sum())
         minbucket = self._effective_minbucket
         best: _BestSplit | None = None
-        for j in range(X.n_features):
-            codes = X.codes[rows, j]
-            k = X.n_levels[j]
-            level_class = np.bincount(
-                codes * self.n_classes_ + y_node, minlength=k * self.n_classes_
-            ).reshape(k, self.n_classes_)
+        for j, level_class in enumerate(stats):
+            k = level_class.shape[0]
             level_totals = level_class.sum(axis=1)
             present = np.flatnonzero(level_totals)
             if present.size < 2:

@@ -13,13 +13,20 @@ shard, differing only in floating-point association.
   :class:`ShardedDataset`: bounded fact-row shards from a split, a full
   table, a :class:`ScenarioPopulation`, or a chunked CSV.
 - :mod:`repro.streaming.matrices` — :class:`StreamingMatrices`: the
-  projected KFK join and categorical encoding, one shard at a time,
-  with shard-indexed referential-integrity errors.
+  out-of-core :class:`repro.data.FeatureSource`, encoding each shard
+  through the shared :class:`repro.data.ShardEncoder` (the serving
+  layer's exact assembly path), with shard-indexed
+  referential-integrity errors.
 - :mod:`repro.streaming.trainer` — :class:`StreamingTrainer`:
   deterministic shard shuffling, exact/incremental logistic modes,
+  ``fit_stream`` dispatch for the count/histogram models (NB, trees),
   per-shard MLP epochs, and shard-accumulated scoring.
 - :mod:`repro.streaming.benchmark` — the peak-memory scaling harness
   behind ``benchmarks/bench_streaming_scale.py``.
+
+Prefetching and disk-spill caching compose on top as
+:class:`repro.data.PrefetchingSource` / :class:`repro.data.SpillCacheSource`
+decorators around any source, including these.
 """
 
 from repro.streaming.benchmark import (

@@ -1,22 +1,22 @@
-"""Per-shard strategy matrices: the join, one bounded block at a time.
+"""Per-shard strategy matrices: the out-of-core :class:`FeatureSource`.
 
 :meth:`JoinStrategy.matrices` materialises the full joined table and a
 full :class:`~repro.ml.encoding.CategoricalMatrix` — the step that caps
 in-memory training at whatever fits in RAM.  :class:`StreamingMatrices`
-performs the *same* projected KFK join per shard instead: select the
-shard's fact rows, fold in each joined dimension with
-:func:`~repro.relational.join.kfk_join`, project onto the strategy's
-feature list.  Because the shard's columns share the schema's closed
-domains, each shard's matrix is exactly the corresponding row block of
-the never-built full matrix — the invariant the equivalence suite
-asserts bit for bit.
+encodes the *same* features per shard instead, through the unified
+:class:`~repro.data.encoder.ShardEncoder`: each shard's fact rows are
+resolved against the cached dimension indexes and gathered into the
+strategy's feature layout — the identical encode path the serving layer
+runs per micro-batch.  Because the shard's columns share the schema's
+closed domains, each shard's matrix is exactly the corresponding row
+block of the never-built full matrix — the invariant the equivalence
+suite asserts bit for bit.
 
-The class implements the shard-stream protocol consumed by
-:meth:`~repro.ml.linear.logistic.L1LogisticRegression.fit_stream` and
-:class:`~repro.streaming.trainer.StreamingTrainer`: ``n_rows``,
-``n_features``, ``onehot_width``, ``n_classes`` and re-iterable
-``__iter__`` over ``(CategoricalMatrix, labels)`` pairs in stable shard
-order.
+The class implements :class:`repro.data.FeatureSource`, the shard
+protocol consumed by
+:meth:`~repro.ml.linear.logistic.L1LogisticRegression.fit_stream`,
+:class:`~repro.streaming.trainer.StreamingTrainer` and the
+``fit_stream`` paths of the count/histogram models.
 
 Referential integrity is enforced shard by shard: a dangling foreign
 key anywhere in the table — even one first reached in the final shard —
@@ -32,13 +32,14 @@ from collections.abc import Iterator, Sequence
 import numpy as np
 
 from repro.core.strategies import JoinStrategy
+from repro.data.encoder import ShardEncoder
+from repro.data.source import FeatureSource
 from repro.errors import ReferentialIntegrityError
 from repro.ml.encoding import CategoricalMatrix
-from repro.relational.join import kfk_join
 from repro.streaming.shards import FactShard, ShardedDataset
 
 
-class StreamingMatrices:
+class StreamingMatrices(FeatureSource):
     """A strategy's feature matrices, assembled shard by shard.
 
     Parameters
@@ -47,21 +48,37 @@ class StreamingMatrices:
         The shard source (any :class:`ShardedDataset`).
     strategy:
         Feature-set strategy (JoinAll / NoJoin / NoFK / partial / ...).
-        Resolved against the shard source's schema once, up front, so
-        malformed strategies fail before any data is read.
+        Resolved against the shard source's schema once, up front (by
+        the shared :class:`ShardEncoder`), so malformed strategies fail
+        before any data is read.
+    encoder:
+        An existing :class:`ShardEncoder` to assemble through; must
+        have been built for the same ``(schema, strategy)`` pair.
+        Passing one shares its dimension-index cache across several
+        streams (e.g. one experiment's train/validation/test splits),
+        so each dimension's index is built once per run, not once per
+        split.  Built fresh when omitted.
     """
 
-    def __init__(self, sharded: ShardedDataset, strategy: JoinStrategy):
+    def __init__(
+        self,
+        sharded: ShardedDataset,
+        strategy: JoinStrategy,
+        encoder: ShardEncoder | None = None,
+    ):
         self.sharded = sharded
         self.strategy = strategy
         self.schema = sharded.schema
-        self.feature_names: tuple[str, ...] = tuple(
-            strategy.feature_names(self.schema)
-        )
-        self._joined_dimensions = tuple(strategy.joined_dimensions(self.schema))
-        self.n_levels: tuple[int, ...] = tuple(
-            len(self.schema.feature_domain(name)) for name in self.feature_names
-        )
+        if encoder is None:
+            encoder = ShardEncoder(self.schema, strategy)
+        elif encoder.schema is not self.schema or encoder.strategy != strategy:
+            raise ValueError(
+                "shared encoder was built for a different (schema, strategy) "
+                "pair than this stream"
+            )
+        self.encoder = encoder
+        self.feature_names: tuple[str, ...] = self.encoder.feature_names
+        self.n_levels: tuple[int, ...] = self.encoder.n_levels
         # With a single shard the assembled matrix *is* the whole
         # dataset, so caching it costs no more memory than one assembly
         # already peaked at — and saves the multi-pass consumers
@@ -87,14 +104,9 @@ class StreamingMatrices:
         return self.sharded.n_shards
 
     @property
-    def n_features(self) -> int:
-        """Number of categorical features the strategy exposes."""
-        return len(self.feature_names)
-
-    @property
-    def onehot_width(self) -> int:
-        """Width of the (never materialised) one-hot encoding."""
-        return int(sum(self.n_levels))
+    def shard_rows(self) -> int:
+        """Upper bound on rows per shard."""
+        return self.sharded.shard_rows
 
     @property
     def n_classes(self) -> int:
@@ -110,18 +122,13 @@ class StreamingMatrices:
     # Assembly
     # ------------------------------------------------------------------
     def _assemble(self, shard: FactShard) -> tuple[CategoricalMatrix, np.ndarray]:
-        """Join and project one shard into ``(X, y)``."""
-        joined = shard.fact
+        """Encode one fact shard into ``(X, y)`` via the shared encoder."""
         try:
-            for name in self._joined_dimensions:
-                joined = kfk_join(self.schema, name, fact=joined)
+            return self.encoder.encode_shard(shard.fact)
         except ReferentialIntegrityError as error:
             raise ReferentialIntegrityError(
                 f"shard {shard.index}: {error}"
             ) from error
-        X = CategoricalMatrix.from_table(joined, list(self.feature_names))
-        y = shard.fact.codes(self.schema.target)
-        return X, y
 
     def shard(self, index: int) -> tuple[CategoricalMatrix, np.ndarray]:
         """The ``(X, y)`` block of one shard, by stable index."""
@@ -140,20 +147,23 @@ class StreamingMatrices:
                 X, y = self.shard(0)
                 yield 0, X, y
                 return
-        for shard in self.sharded.iter_shards(order):
-            X, y = self._assemble(shard)
-            yield shard.index, X, y
-
-    def __iter__(self) -> Iterator[tuple[CategoricalMatrix, np.ndarray]]:
-        """Stable-order iteration under the shard-stream protocol."""
-        for _, X, y in self.iter_shards():
-            yield X, y
+        if order is None:
+            # Stable order goes through the shard source's sequential
+            # scanner when it has one (chunked CSVs), not per-index
+            # random access.
+            for shard in self.sharded.iter_shards():
+                X, y = self._assemble(shard)
+                yield shard.index, X, y
+            return
+        for index in order:
+            X, y = self.shard(int(index))
+            yield int(index), X, y
 
     def labels(self) -> np.ndarray:
         """All labels, accumulated shard by shard (one small array).
 
         Labels live on the fact shards, so this skips the per-shard
-        join and encoding entirely.
+        gather and encoding entirely.
         """
         parts = [
             shard.fact.codes(self.schema.target)

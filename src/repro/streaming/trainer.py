@@ -1,8 +1,8 @@
 """Deterministic out-of-core training loops.
 
-:class:`StreamingTrainer` drives a model over a
-:class:`~repro.streaming.matrices.StreamingMatrices` stream without the
-full feature matrix ever existing:
+:class:`StreamingTrainer` drives a model over any
+:class:`~repro.data.FeatureSource` without the full feature matrix ever
+existing:
 
 - :class:`~repro.ml.linear.logistic.L1LogisticRegression` trains with
   ``mode="exact"`` (default): the model's own :meth:`fit_stream` runs
@@ -11,6 +11,12 @@ full feature matrix ever existing:
   association.  ``mode="incremental"`` instead advances
   :meth:`partial_fit` on each shard (momentum restarted at every epoch
   boundary) — cheaper per epoch, approximate.
+- Models with their own shard-exact ``fit_stream``
+  (:class:`~repro.ml.naive_bayes.CategoricalNB` accumulates counts, the
+  histogram-streamed :class:`~repro.ml.tree.DecisionTreeClassifier`
+  accumulates per-frontier split statistics) hand the whole source to
+  it; their results are order-independent, so epochs and shard
+  shuffling do not apply.
 - :class:`~repro.ml.neural.mlp.MLPClassifier` (or any estimator with a
   compatible ``partial_fit``) trains epoch by epoch, one
   ``partial_fit`` call per shard.  With a single shard this reproduces
@@ -22,18 +28,18 @@ Shard order is shuffled between epochs with a dedicated generator from
 :mod:`repro.rng` — deterministic for a given ``seed``, independent of
 the model's own randomness.
 
-Scoring streams too: :meth:`StreamingTrainer.score` accumulates hits
-shard by shard, so evaluation has the same bounded footprint as
-training.
+Scoring streams too: :meth:`StreamingTrainer.score` is the shared
+:func:`repro.data.source_accuracy` loop, so evaluation has the same
+bounded footprint as training.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.data.source import FeatureSource, source_accuracy
 from repro.ml.linear import L1LogisticRegression
 from repro.rng import ensure_rng
-from repro.streaming.matrices import StreamingMatrices
 
 #: Training modes for L1 logistic regression.
 LR_MODES = ("exact", "incremental")
@@ -45,14 +51,17 @@ class StreamingTrainer:
     Parameters
     ----------
     model:
-        An :class:`L1LogisticRegression`, or any estimator exposing
+        An :class:`L1LogisticRegression`, an estimator with a
+        source-consuming ``fit_stream`` (Naive Bayes, the decision
+        tree), or any estimator exposing
         ``partial_fit(X, y, n_classes=...)`` plus ``predict`` (the MLP
         does).
     epochs:
         Passes over the shard set for ``partial_fit``-style training.
         ``None`` uses the model's own ``epochs`` hyper-parameter when it
-        has one, else 1.  Ignored by the exact logistic mode, which
-        iterates until its own convergence criterion.
+        has one, else 1.  Ignored by the exact logistic mode and by
+        ``fit_stream`` models, which make exactly the passes their
+        algorithm needs.
     shuffle_shards:
         Whether to permute shard order between epochs (the streaming
         analogue of example shuffling).  Exact logistic mode always
@@ -97,23 +106,26 @@ class StreamingTrainer:
             return [rng.permutation(n_shards) for _ in range(n_epochs)]
         return [np.arange(n_shards) for _ in range(n_epochs)]
 
-    def fit(self, stream: StreamingMatrices):
-        """Train the model over the stream; returns the fitted model."""
-        if stream.n_rows == 0:
+    def fit(self, source: FeatureSource):
+        """Train the model over the source; returns the fitted model."""
+        if source.n_rows == 0:
             raise ValueError("cannot fit on zero examples")
         if isinstance(self.model, L1LogisticRegression):
             if self.mode == "exact":
-                return self.model.fit_stream(stream)
-            return self._fit_incremental_lr(stream)
+                return self.model.fit_stream(source)
+            return self._fit_incremental_lr(source)
+        if hasattr(self.model, "fit_stream"):
+            # Shard-exact streaming algorithms (count/histogram models)
+            # own their pass structure; hand them the source whole.
+            return self.model.fit_stream(source)
         if not hasattr(self.model, "partial_fit"):
             raise TypeError(
                 f"{type(self.model).__name__} does not support streaming "
-                f"training (no partial_fit); streamable models expose "
-                f"partial_fit or are L1LogisticRegression"
+                f"training (no fit_stream or partial_fit)"
             )
-        return self._fit_partial(stream)
+        return self._fit_partial(source)
 
-    def _fit_partial(self, stream: StreamingMatrices):
+    def _fit_partial(self, source: FeatureSource):
         """Epoch loop for ``partial_fit``-style models (MLP & friends).
 
         ``fit`` means *fit*: any state a previous training session left
@@ -129,15 +141,15 @@ class StreamingTrainer:
         reset = getattr(self.model, "_reset", None)
         if reset is not None:
             reset()
-        labels = stream.labels()
+        labels = source.labels()
         n_classes = max(int(labels.max()) + 1, 2)
         n_epochs = self._resolve_epochs()
-        for order in self._epoch_orders(stream.n_shards, n_epochs):
-            for _, X, y in stream.iter_shards(order):
+        for order in self._epoch_orders(source.n_shards, n_epochs):
+            for _, X, y in source.iter_shards(order):
                 self.model.partial_fit(X, y, n_classes=n_classes)
         return self.model
 
-    def _fit_incremental_lr(self, stream: StreamingMatrices):
+    def _fit_incremental_lr(self, source: FeatureSource):
         """One FISTA step per shard visit, momentum restarted per epoch.
 
         A single step per shard is what keeps the scheme stable: each
@@ -151,14 +163,14 @@ class StreamingTrainer:
         if self.epochs is not None:
             n_epochs = self.epochs
         else:
-            n_epochs = max(1, self.model.max_iter // max(1, stream.n_shards))
+            n_epochs = max(1, self.model.max_iter // max(1, source.n_shards))
         # The step-size bound depends only on a shard's data: estimate it
         # on the first visit, reuse on every later epoch (one float per
         # shard, vs ~30 power-iteration passes per visit otherwise).
         bounds: dict[int, float] = {}
-        for order in self._epoch_orders(stream.n_shards, n_epochs):
+        for order in self._epoch_orders(source.n_shards, n_epochs):
             restart = True
-            for index, X, y in stream.iter_shards(order):
+            for index, X, y in source.iter_shards(order):
                 if index not in bounds:
                     bounds[index] = self.model.lipschitz_bound(X)
                 self.model.partial_fit(
@@ -167,13 +179,6 @@ class StreamingTrainer:
                 restart = False
         return self.model
 
-    def score(self, stream: StreamingMatrices) -> float:
-        """Accuracy over a stream, accumulated shard by shard."""
-        hits = 0
-        total = 0
-        for _, X, y in stream.iter_shards():
-            hits += int(np.sum(self.model.predict(X) == y))
-            total += y.size
-        if total == 0:
-            raise ValueError("cannot score an empty stream")
-        return hits / total
+    def score(self, source: FeatureSource) -> float:
+        """Accuracy over a source, accumulated shard by shard."""
+        return source_accuracy(self.model, source)

@@ -36,15 +36,26 @@ class TestParser:
         assert args.shard_rows == 200
 
     def test_fit_rejects_unstreamable_model(self):
+        # SVMs and 1-NN have no streaming path; trees/NB now do.
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["fit", "yelp", "dt_gini"])
+            build_parser().parse_args(["fit", "yelp", "svm_rbf"])
 
-    def test_fit_rejects_both_shard_specs(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(
-                ["fit", "yelp", "lr_l1", "--stream",
-                 "--shard-rows", "10", "--shards", "2"]
-            )
+    def test_fit_accepts_streamable_tree_and_nb(self):
+        for model in ("dt_gini", "nb"):
+            args = build_parser().parse_args(["fit", "yelp", model, "--stream"])
+            assert args.model == model
+
+    def test_fit_parses_decorator_flags(self):
+        args = build_parser().parse_args(
+            ["fit", "yelp", "lr_l1", "--stream", "--shard-rows", "50",
+             "--prefetch", "2", "--spill-cache"]
+        )
+        assert args.prefetch == 2
+        assert args.spill_cache is True
+        args = build_parser().parse_args(
+            ["fit", "yelp", "lr_l1", "--stream", "--spill-cache", "/tmp/c"]
+        )
+        assert args.spill_cache == "/tmp/c"
 
     def test_simulate_arguments(self):
         args = build_parser().parse_args(
@@ -121,6 +132,43 @@ class TestCommands:
         err = capsys.readouterr().err
         assert code == 2
         assert "--stream" in err
+
+    def test_fit_rejects_contradictory_shard_specs(self, capsys):
+        """Regression: both --shard-rows and --shards is a hard error.
+
+        The layout flags are two parameterisations of the same shard
+        plan; the CLI must refuse the contradiction with a message
+        naming both flags, never silently prefer one.
+        """
+        code = main(["fit", "yelp", "lr_l1", "--stream",
+                     "--shard-rows", "10", "--shards", "2",
+                     "--scale", "smoke"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--shard-rows" in captured.err and "--shards" in captured.err
+        assert "exactly one" in captured.err
+        # A usage error must not have started an experiment.
+        assert "test=" not in captured.out
+
+    def test_fit_decorator_flags_require_stream(self, capsys):
+        code = main(["fit", "yelp", "lr_l1", "--prefetch", "2",
+                     "--scale", "smoke"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--stream" in err
+
+    def test_fit_streamed_with_prefetch_and_spill_matches_plain(self, capsys):
+        code = main(["fit", "yelp", "nb", "--stream", "--shards", "3",
+                     "--scale", "smoke"])
+        plain = capsys.readouterr().out
+        assert code == 0
+        code = main(["fit", "yelp", "nb", "--stream", "--shards", "3",
+                     "--prefetch", "2", "--spill-cache", "--scale", "smoke"])
+        decorated = capsys.readouterr().out
+        assert code == 0
+        # Decorators change how shards are produced, never the result.
+        expected = plain.strip().splitlines()[-1].split(" (")[0]
+        assert expected in decorated
 
     def test_fit_nonpositive_shard_spec_errors_cleanly(self, capsys):
         code = main(["fit", "yelp", "lr_l1", "--stream", "--shards", "0",

@@ -1,0 +1,168 @@
+"""PrefetchingSource edge cases: errors, cancellation, determinism.
+
+The three hazards of a background producer thread, each pinned by a
+test:
+
+- a worker exception must surface in the consumer *with the worker's
+  original traceback* (not a bare re-raise at the queue);
+- abandoning the iterator early must join the worker before control
+  returns — no daemon threads leak past the pass (the CI
+  ``data-layer-stress`` job runs these under ``PYTHONDEVMODE=1``);
+- the prefetched stream must be byte-identical to the unprefetched one,
+  whatever the queue depth.
+"""
+
+import threading
+import traceback
+
+import numpy as np
+import pytest
+
+from repro.core import no_join_strategy
+from repro.data import MatrixSource, PrefetchingSource
+from repro.datasets import generate_real_world
+
+
+@pytest.fixture(scope="module")
+def train_matrix():
+    dataset = generate_real_world("yelp", n_fact=200, seed=0)
+    matrices = no_join_strategy().matrices(dataset)
+    return matrices.X_train, matrices.y_train
+
+
+def _prefetch_threads():
+    return [
+        t for t in threading.enumerate() if t.name.startswith("repro-prefetch")
+    ]
+
+
+class _ExplodingSource(MatrixSource):
+    """Fails while producing the shard at ``explode_at``."""
+
+    def __init__(self, X, y, shard_rows, explode_at):
+        super().__init__(X, y, shard_rows=shard_rows)
+        self.explode_at = explode_at
+
+    def shard(self, index):
+        if index == self.explode_at:
+            self._kaboom(index)
+        return super().shard(index)
+
+    def _kaboom(self, index):  # a distinctive frame for the traceback test
+        raise RuntimeError(f"shard {index} exploded")
+
+
+class TestExceptionPropagation:
+    def test_worker_exception_surfaces_with_original_traceback(
+        self, train_matrix
+    ):
+        source = PrefetchingSource(
+            _ExplodingSource(*train_matrix, shard_rows=11, explode_at=3)
+        )
+        consumed = []
+        with pytest.raises(RuntimeError, match="shard 3 exploded") as info:
+            for _, X, y in source.iter_shards():
+                consumed.append(y.size)
+        # Shards before the failure arrived intact...
+        assert len(consumed) == 3
+        # ...and the traceback walks through the worker's real failure
+        # site, not just the consumer-side re-raise.
+        frames = [f.name for f in traceback.extract_tb(info.value.__traceback__)]
+        assert "_kaboom" in frames
+        assert "shard" in frames
+        assert not _prefetch_threads()
+
+    def test_immediate_failure_still_joins_worker(self, train_matrix):
+        source = PrefetchingSource(
+            _ExplodingSource(*train_matrix, shard_rows=11, explode_at=0)
+        )
+        with pytest.raises(RuntimeError, match="exploded"):
+            list(source.iter_shards())
+        assert not _prefetch_threads()
+
+
+class TestCancellation:
+    def test_early_exit_joins_worker_thread(self, train_matrix):
+        """Closing the iterator mid-pass must leave no worker behind,
+        even with the worker blocked on a full queue."""
+        source = PrefetchingSource(
+            MatrixSource(*train_matrix, shard_rows=5), depth=1
+        )
+        iterator = source.iter_shards()
+        next(iterator)
+        assert _prefetch_threads()  # worker alive mid-pass
+        iterator.close()
+        assert not _prefetch_threads()
+
+    def test_break_out_of_for_loop(self, train_matrix):
+        source = PrefetchingSource(MatrixSource(*train_matrix, shard_rows=5))
+        iterator = iter(source)
+        for X, y in iterator:
+            break
+        iterator.close()
+        assert not _prefetch_threads()
+
+    def test_consumer_exception_joins_worker(self, train_matrix):
+        source = PrefetchingSource(MatrixSource(*train_matrix, shard_rows=5))
+
+        def consume():
+            for index, X, y in source.iter_shards():
+                if index == 1:
+                    raise KeyError("consumer bug")
+
+        with pytest.raises(KeyError):
+            consume()
+        assert not _prefetch_threads()
+
+    def test_reusable_after_cancellation(self, train_matrix):
+        source = PrefetchingSource(MatrixSource(*train_matrix, shard_rows=7))
+        iterator = source.iter_shards()
+        next(iterator)
+        iterator.close()
+        # A fresh pass starts a fresh worker and sees everything.
+        assert len(list(source.iter_shards())) == source.n_shards
+        assert not _prefetch_threads()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("depth", [1, 2, 7])
+    def test_prefetched_order_is_byte_identical(self, train_matrix, depth):
+        plain = MatrixSource(*train_matrix, shard_rows=9)
+        prefetched = PrefetchingSource(
+            MatrixSource(*train_matrix, shard_rows=9), depth=depth
+        )
+        plain_shards = list(plain.iter_shards())
+        fetched_shards = list(prefetched.iter_shards())
+        assert [i for i, _, _ in fetched_shards] == [
+            i for i, _, _ in plain_shards
+        ]
+        for (_, Xa, ya), (_, Xb, yb) in zip(plain_shards, fetched_shards):
+            np.testing.assert_array_equal(Xa.codes, Xb.codes)
+            np.testing.assert_array_equal(ya, yb)
+
+    def test_reordered_iteration_prefetches_that_order(self, train_matrix):
+        source = PrefetchingSource(MatrixSource(*train_matrix, shard_rows=9))
+        order = np.arange(source.n_shards)[::-1]
+        assert [i for i, _, _ in source.iter_shards(order)] == list(order)
+
+    def test_depth_validation(self, train_matrix):
+        with pytest.raises(ValueError, match="depth"):
+            PrefetchingSource(MatrixSource(*train_matrix), depth=0)
+
+
+class TestTrainingThroughPrefetch:
+    def test_exact_lr_fit_is_bit_identical(self, train_matrix):
+        from repro.ml.linear import L1LogisticRegression
+
+        X, y = train_matrix
+        reference = L1LogisticRegression(max_iter=40).fit(X, y)
+        model = L1LogisticRegression(max_iter=40)
+        model.fit_stream(PrefetchingSource(MatrixSource(X, y, shard_rows=13)))
+        # Multi-shard gradients accumulate in shard order either way, so
+        # even the shard-split fit matches the prefetched shard-split fit
+        # bit for bit.
+        sharded = L1LogisticRegression(max_iter=40)
+        sharded.fit_stream(MatrixSource(X, y, shard_rows=13))
+        assert np.array_equal(sharded.coef_, model.coef_)
+        assert sharded.intercept_ == model.intercept_
+        assert reference.n_iter_ == model.n_iter_

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.ml.neural",
     "repro.ml.linear",
     "repro.core",
+    "repro.data",
     "repro.datasets",
     "repro.experiments",
     "repro.streaming",

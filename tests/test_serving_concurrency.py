@@ -161,7 +161,7 @@ class TestConcurrentSubmit:
 class TestRacingColdCache:
     def test_each_dimension_built_exactly_once(self, dataset, monkeypatch):
         """K threads racing on a cold cache must share a single build."""
-        import repro.serving.feature_service as fs
+        import repro.data.encoder as fs
 
         n_threads = 8
         build_calls = []

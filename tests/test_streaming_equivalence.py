@@ -21,6 +21,7 @@ from repro.core import (
     no_fk_strategy,
     no_join_strategy,
 )
+from repro.data import SourceSpec
 from repro.datasets import SplitDataset, three_way_split
 from repro.ml.linear import L1LogisticRegression
 from repro.ml.neural import MLPClassifier
@@ -196,42 +197,114 @@ class TestEngineAgreementUnderStreaming:
 
 
 class TestRunnerEquivalence:
-    """The runner-level wiring preserves the single-shard guarantee."""
+    """The unified runner preserves the equivalence guarantees."""
 
-    def test_single_shard_streaming_matches_inmemory_result(self):
+    def test_inmemory_source_reproduces_direct_fit_exactly(self):
+        """``run_experiment(source=SourceSpec())`` == the pre-refactor
+        in-memory runner: fit the single configuration on materialised
+        matrices, score every split with plain accuracy."""
         from repro.datasets import generate_real_world
-        from repro.experiments import (
-            SMOKE,
-            run_inmemory_experiment,
-            run_streaming_experiment,
-        )
+        from repro.experiments import SMOKE, make_streaming_model, run_experiment
 
         dataset = generate_real_world("yelp", n_fact=160, seed=0)
         strategy = join_all_strategy()
-        inmem = run_inmemory_experiment(dataset, "lr_l1", strategy, scale=SMOKE)
-        streamed = run_streaming_experiment(
-            dataset, "lr_l1", strategy, n_shards=1, scale=SMOKE
+        # What run_inmemory_experiment (deleted in the data-layer
+        # refactor) computed, written out by hand:
+        matrices = strategy.matrices(dataset)
+        model = make_streaming_model("lr_l1", SMOKE, seed=0)
+        model.fit(matrices.X_train, matrices.y_train)
+        result = run_experiment(
+            dataset, "lr_l1", strategy, scale=SMOKE, source=SourceSpec()
+        )
+        assert result.test_accuracy == model.score(
+            matrices.X_test, matrices.y_test
+        )
+        assert result.train_accuracy == model.score(
+            matrices.X_train, matrices.y_train
+        )
+        assert result.validation_accuracy == model.score(
+            matrices.X_validation, matrices.y_validation
+        )
+        assert result.best_params["streaming"] is False
+        assert result.n_features == matrices.X_train.n_features
+
+    def test_single_shard_streaming_matches_inmemory_result(self):
+        from repro.datasets import generate_real_world
+        from repro.experiments import SMOKE, run_experiment
+
+        dataset = generate_real_world("yelp", n_fact=160, seed=0)
+        strategy = join_all_strategy()
+        inmem = run_experiment(
+            dataset, "lr_l1", strategy, scale=SMOKE, source=SourceSpec()
+        )
+        streamed = run_experiment(
+            dataset, "lr_l1", strategy, scale=SMOKE,
+            source=SourceSpec(n_shards=1),
         )
         assert streamed.test_accuracy == inmem.test_accuracy
         assert streamed.train_accuracy == inmem.train_accuracy
         assert streamed.validation_accuracy == inmem.validation_accuracy
         assert streamed.best_params["n_shards"] == 1
+        assert streamed.best_params["streaming"] is True
 
     def test_multi_shard_streaming_matches_inmemory_accuracy(self):
         from repro.datasets import generate_real_world
-        from repro.experiments import (
-            SMOKE,
-            run_inmemory_experiment,
-            run_streaming_experiment,
-        )
+        from repro.experiments import SMOKE, run_experiment
 
         dataset = generate_real_world("yelp", n_fact=160, seed=0)
         strategy = no_join_strategy()
-        inmem = run_inmemory_experiment(dataset, "lr_l1", strategy, scale=SMOKE)
-        streamed = run_streaming_experiment(
-            dataset, "lr_l1", strategy, shard_rows=17, scale=SMOKE
+        inmem = run_experiment(
+            dataset, "lr_l1", strategy, scale=SMOKE, source=SourceSpec()
+        )
+        streamed = run_experiment(
+            dataset, "lr_l1", strategy, scale=SMOKE,
+            source=SourceSpec(shard_rows=17),
         )
         # Exact FISTA over shards: same iterates up to FP association.
         assert streamed.test_accuracy == pytest.approx(
             inmem.test_accuracy, abs=1e-12
         )
+
+    def test_decorated_source_spec_changes_nothing(self):
+        from repro.datasets import generate_real_world
+        from repro.experiments import SMOKE, run_experiment
+
+        dataset = generate_real_world("yelp", n_fact=160, seed=0)
+        strategy = no_join_strategy()
+        # NB: shard-exact in one counting pass, so the test isolates the
+        # decorators' effect (none) without a long FISTA run.
+        plain = run_experiment(
+            dataset, "nb", strategy, scale=SMOKE,
+            source=SourceSpec(shard_rows=17),
+        )
+        decorated = run_experiment(
+            dataset, "nb", strategy, scale=SMOKE,
+            source=SourceSpec(shard_rows=17, prefetch=2, spill_cache=True),
+        )
+        assert decorated.test_accuracy == plain.test_accuracy
+        assert decorated.train_accuracy == plain.train_accuracy
+        assert decorated.validation_accuracy == plain.validation_accuracy
+        assert decorated.best_params["prefetch"] == 2
+        assert decorated.best_params["spill_cache"] is True
+
+    def test_matrices_and_source_are_mutually_exclusive(self):
+        from repro.datasets import generate_real_world
+        from repro.experiments import SMOKE, run_experiment
+
+        dataset = generate_real_world("yelp", n_fact=160, seed=0)
+        strategy = no_join_strategy()
+        matrices = strategy.matrices(dataset)
+        with pytest.raises(ValueError, match="one or the other"):
+            run_experiment(
+                dataset, "lr_l1", strategy, scale=SMOKE,
+                matrices=matrices, source=SourceSpec(),
+            )
+
+    def test_old_runner_names_are_gone(self):
+        """The duplicated per-path runners are deleted, not kept alongside."""
+        import repro.experiments as experiments
+        import repro.experiments.runner as runner
+
+        for name in ("run_inmemory_experiment", "run_streaming_experiment"):
+            assert not hasattr(experiments, name)
+            assert not hasattr(runner, name)

@@ -1,0 +1,237 @@
+"""Streaming NB and histogram-streamed trees: exact equivalence.
+
+The equivalence contract for the two model families the unified data
+layer brought out of core:
+
+- ``CategoricalNB``: shard-accumulated counts are **bit-identical** to
+  the in-memory fit — every learned array compared with
+  ``np.array_equal``, for every shard layout.
+- ``DecisionTreeClassifier``: per-shard histogram accumulation produces
+  **identical splits** — same features, same level partitions, same
+  counts, node for node.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import join_all_strategy, no_fk_strategy, no_join_strategy
+from repro.data import MatrixSource, SourceSpec
+from repro.datasets import generate_real_world
+from repro.ml import CategoricalNB, DecisionTreeClassifier
+from repro.streaming import StreamingTrainer
+
+STRATEGIES = {
+    "JoinAll": join_all_strategy,
+    "NoJoin": no_join_strategy,
+    "NoFK": no_fk_strategy,
+}
+
+
+@pytest.fixture(scope="module")
+def yelp():
+    return generate_real_world("yelp", n_fact=300, seed=0)
+
+
+def assert_same_tree(a, b):
+    """Node-for-node structural identity of two fitted trees."""
+    assert a.n_classes_ == b.n_classes_
+    assert a.split_counts_ == b.split_counts_
+
+    def walk(node_a, node_b):
+        assert node_a.is_leaf == node_b.is_leaf
+        np.testing.assert_array_equal(node_a.counts, node_b.counts)
+        assert node_a.prediction == node_b.prediction
+        assert node_a.depth == node_b.depth
+        if not node_a.is_leaf:
+            assert node_a.feature == node_b.feature
+            np.testing.assert_array_equal(node_a.goes_left, node_b.goes_left)
+            assert node_a.gain == pytest.approx(node_b.gain, abs=0.0)
+            walk(node_a.left, node_b.left)
+            walk(node_a.right, node_b.right)
+
+    walk(a.root_, b.root_)
+    for seen_a, seen_b in zip(a.seen_levels_, b.seen_levels_):
+        np.testing.assert_array_equal(seen_a, seen_b)
+
+
+@pytest.mark.parametrize("strategy_name", sorted(STRATEGIES))
+@pytest.mark.parametrize("shard_rows", [None, 1, 23])
+class TestNaiveBayesBitIdentity:
+    def test_sharded_fit_bit_identical(self, yelp, strategy_name, shard_rows):
+        strategy = STRATEGIES[strategy_name]()
+        matrices = strategy.matrices(yelp)
+        reference = CategoricalNB(alpha=1.0).fit(
+            matrices.X_train, matrices.y_train
+        )
+        if shard_rows is None:
+            source = MatrixSource(matrices.X_train, matrices.y_train)
+        else:
+            source = strategy.streaming_matrices(yelp, shard_rows=shard_rows)
+        model = CategoricalNB(alpha=1.0)
+        StreamingTrainer(model).fit(source)
+        np.testing.assert_array_equal(
+            reference.class_log_prior_, model.class_log_prior_
+        )
+        np.testing.assert_array_equal(reference.class_count_, model.class_count_)
+        assert len(reference.feature_log_prob_) == len(model.feature_log_prob_)
+        for ref_logp, stream_logp in zip(
+            reference.feature_log_prob_, model.feature_log_prob_
+        ):
+            np.testing.assert_array_equal(ref_logp, stream_logp)
+        np.testing.assert_array_equal(
+            reference.predict(matrices.X_test), model.predict(matrices.X_test)
+        )
+
+
+class TestNaiveBayesPartialFit:
+    def test_two_halves_equal_one_fit(self, yelp):
+        matrices = no_join_strategy().matrices(yelp)
+        X, y = matrices.X_train, matrices.y_train
+        half = X.n_rows // 2
+        rows_a, rows_b = np.arange(half), np.arange(half, X.n_rows)
+        n_classes = int(y.max()) + 1
+        accumulated = CategoricalNB(alpha=1.0)
+        accumulated.partial_fit(X.take_rows(rows_a), y[rows_a], n_classes=n_classes)
+        accumulated.partial_fit(X.take_rows(rows_b), y[rows_b], n_classes=n_classes)
+        reference = CategoricalNB(alpha=1.0).fit(X, y)
+        for a, b in zip(reference.feature_log_prob_, accumulated.feature_log_prob_):
+            np.testing.assert_array_equal(a, b)
+
+    def test_usable_after_every_shard(self, yelp):
+        matrices = no_join_strategy().matrices(yelp)
+        X, y = matrices.X_train, matrices.y_train
+        model = CategoricalNB(alpha=1.0)
+        model.partial_fit(X.take_rows(np.arange(10)), y[:10],
+                          n_classes=int(y.max()) + 1)
+        assert model.predict(X).shape == (X.n_rows,)
+
+    def test_mismatched_domains_rejected(self, yelp):
+        matrices = no_join_strategy().matrices(yelp)
+        X, y = matrices.X_train, matrices.y_train
+        model = CategoricalNB().fit(X, y)
+        narrower = X.select_features(list(X.names[:-1]))
+        with pytest.raises(ValueError, match="closed domains"):
+            model.partial_fit(narrower, y)
+
+    def test_label_out_of_range_rejected(self, yelp):
+        matrices = no_join_strategy().matrices(yelp)
+        X, y = matrices.X_train, matrices.y_train
+        model = CategoricalNB()
+        model.partial_fit(X, y, n_classes=int(y.max()) + 1)
+        with pytest.raises(ValueError, match="out of range"):
+            model.partial_fit(X, y + 10)
+
+    def test_n_classes_change_rejected(self, yelp):
+        matrices = no_join_strategy().matrices(yelp)
+        X, y = matrices.X_train, matrices.y_train
+        model = CategoricalNB()
+        model.partial_fit(X, y, n_classes=2)
+        with pytest.raises(ValueError, match="initialised with 2"):
+            model.partial_fit(X, y, n_classes=3)
+
+    def test_fit_resets_previous_session(self, yelp):
+        matrices = no_join_strategy().matrices(yelp)
+        X, y = matrices.X_train, matrices.y_train
+        model = CategoricalNB(alpha=1.0)
+        model.fit(X, y)
+        model.fit(X, y)  # must not double-count
+        reference = CategoricalNB(alpha=1.0).fit(X, y)
+        np.testing.assert_array_equal(reference.class_count_, model.class_count_)
+
+
+@pytest.mark.parametrize("criterion", ["gini", "entropy", "gain_ratio"])
+@pytest.mark.parametrize("strategy_name", sorted(STRATEGIES))
+class TestTreeIdenticalSplits:
+    def test_histogram_stream_matches_inmemory(
+        self, yelp, criterion, strategy_name
+    ):
+        strategy = STRATEGIES[strategy_name]()
+        matrices = strategy.matrices(yelp)
+        reference = DecisionTreeClassifier(
+            criterion=criterion, unseen="majority", random_state=0
+        ).fit(matrices.X_train, matrices.y_train)
+        streamed = DecisionTreeClassifier(
+            criterion=criterion, unseen="majority", random_state=0
+        )
+        StreamingTrainer(streamed).fit(
+            strategy.streaming_matrices(yelp, shard_rows=23)
+        )
+        assert_same_tree(reference, streamed)
+        np.testing.assert_array_equal(
+            reference.predict_proba(matrices.X_test),
+            streamed.predict_proba(matrices.X_test),
+        )
+
+
+class TestTreeStreamingBehaviour:
+    def test_single_shard_matches_fit(self, yelp):
+        matrices = join_all_strategy().matrices(yelp)
+        reference = DecisionTreeClassifier(unseen="majority").fit(
+            matrices.X_train, matrices.y_train
+        )
+        streamed = DecisionTreeClassifier(unseen="majority")
+        streamed.fit_stream(MatrixSource(matrices.X_train, matrices.y_train))
+        assert_same_tree(reference, streamed)
+
+    def test_hyperparameters_respected(self, yelp):
+        matrices = no_join_strategy().matrices(yelp)
+        for kwargs in ({"max_depth": 1}, {"minsplit": 120}, {"cp": 0.5}):
+            reference = DecisionTreeClassifier(unseen="majority", **kwargs).fit(
+                matrices.X_train, matrices.y_train
+            )
+            streamed = DecisionTreeClassifier(unseen="majority", **kwargs)
+            streamed.fit_stream(
+                MatrixSource(matrices.X_train, matrices.y_train, shard_rows=31)
+            )
+            assert_same_tree(reference, streamed)
+
+    def test_empty_source_rejected(self, yelp):
+        matrices = no_join_strategy().matrices(yelp)
+        empty = MatrixSource(
+            matrices.X_train.take_rows(np.arange(0)), matrices.y_train[:0]
+        )
+        with pytest.raises(ValueError, match="zero examples"):
+            DecisionTreeClassifier().fit_stream(empty)
+
+    def test_unseen_error_policy_survives_streaming(self, yelp):
+        """seen_levels_ accumulated over shards drives unseen='error'."""
+        strategy = no_join_strategy()
+        matrices = strategy.matrices(yelp)
+        reference = DecisionTreeClassifier(unseen="error").fit(
+            matrices.X_train, matrices.y_train
+        )
+        streamed = DecisionTreeClassifier(unseen="error")
+        streamed.fit_stream(
+            MatrixSource(matrices.X_train, matrices.y_train, shard_rows=17)
+        )
+        for seen_a, seen_b in zip(reference.seen_levels_, streamed.seen_levels_):
+            np.testing.assert_array_equal(seen_a, seen_b)
+
+
+class TestRunnerIntegration:
+    @pytest.mark.parametrize("model_key", ["nb", "dt_gini"])
+    def test_sharded_cell_equals_inmemory_cell(self, yelp, model_key):
+        from repro.experiments import SMOKE, run_experiment
+
+        strategy = no_join_strategy()
+        inmem = run_experiment(
+            yelp, model_key, strategy, scale=SMOKE, source=SourceSpec()
+        )
+        streamed = run_experiment(
+            yelp, model_key, strategy, scale=SMOKE,
+            source=SourceSpec(shard_rows=29),
+        )
+        # Counts and histograms are exact over shards: equality, not
+        # approximation — for every split.
+        assert streamed.test_accuracy == inmem.test_accuracy
+        assert streamed.train_accuracy == inmem.train_accuracy
+        assert streamed.validation_accuracy == inmem.validation_accuracy
+
+    def test_streaming_model_displays(self):
+        from repro.experiments import STREAMABLE_MODELS, streaming_model_display
+
+        assert streaming_model_display("nb") == "Naive Bayes"
+        assert streaming_model_display("dt_gini") == "Decision Tree (Gini)"
+        assert set(STREAMABLE_MODELS) == {
+            "lr_l1", "ann", "nb", "dt_gini", "dt_entropy", "dt_gain_ratio",
+        }
