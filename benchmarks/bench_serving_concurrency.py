@@ -78,11 +78,16 @@ def run(args) -> dict:
         "platform": platform.platform(),
         "python": platform.python_version(),
         "baseline_single_worker_rows_per_s": report.baseline_rows_per_s,
+        # Per-stage latency breakdown (queue_wait/assemble/predict/
+        # request, each with mean + p50/p95/p99 in ms) from the serving
+        # runtime's latency histograms.
+        "baseline_latency_ms": report.baseline_latency_ms,
         "workers": {
             str(workers): {
                 "rows_per_s": rate,
                 "mean_batch_rows": report.mean_batch_rows.get(workers),
                 "speedup_vs_single_worker_baseline": report.speedup(workers),
+                "latency_ms": report.latency_ms.get(workers, {}),
             }
             for workers, rate in sorted(report.rates.items())
         },

@@ -14,6 +14,11 @@ first:
 - ``predict``     — serve predictions from a saved artifact.
 - ``serve-bench`` — single-row vs micro-batched serving throughput.
 
+``fit``, ``predict`` and ``serve-bench`` accept ``--telemetry OUT.json``:
+the command runs inside the process-wide tracer and writes its span-tree
+run report (plus a metrics snapshot) when done.  ``stats`` appends the
+process-wide metric registry to its output.
+
 Everything the CLI does is a thin veneer over the public API, so the
 commands double as living documentation of it.
 """
@@ -21,9 +26,12 @@ commands double as living documentation of it.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
+from repro import obs
+from repro.obs import emit
 from repro.core import (
     FAMILY_THRESHOLDS,
     advise,
@@ -136,6 +144,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fit.add_argument("--scale", choices=["smoke", "default", "paper"])
     p_fit.add_argument("--seed", type=int, default=0)
+    p_fit.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="OUT.json",
+        help="write a span-tree run report (join/encode/fit/score) here",
+    )
 
     p_usage = sub.add_parser(
         "usage", help="FK split-usage analysis of a fitted tree (Section 5)"
@@ -182,6 +196,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument(
         "--batch-size", type=int, default=64, help="micro-batch size"
     )
+    p_pred.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="OUT.json",
+        help="write a run report with the server's latency metrics here",
+    )
 
     p_bench = sub.add_parser(
         "serve-bench",
@@ -220,20 +240,40 @@ def build_parser() -> argparse.ArgumentParser:
             "--clients > 0); default: unbounded (saturation)"
         ),
     )
+    p_bench.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="OUT.json",
+        help="write a span-tree run report of the benchmark here",
+    )
     return parser
+
+
+def _write_telemetry(path: str, metrics=None) -> None:
+    """Write the tracer's run report (and a metrics snapshot) to ``path``."""
+    report = obs.tracer().report(metrics=metrics)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    emit(f"telemetry report -> {path}")
 
 
 def _cmd_advise(args: argparse.Namespace) -> int:
     dataset = generate_real_world(args.dataset, n_fact=args.n_fact, seed=args.seed)
     report = advise(dataset.schema, args.family, train_rows=dataset.train.size)
-    print(report)
+    emit(report)
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     for name in DATASET_ORDER:
         dataset = generate_real_world(name, n_fact=args.n_fact, seed=args.seed)
-        print(dataset_statistics(dataset))
+        emit(dataset_statistics(dataset))
+    metrics = obs.registry().snapshot()
+    if metrics:
+        emit("telemetry (process-wide registry):")
+        for name, value in metrics.items():
+            emit(f"  {name}: {value}")
     return 0
 
 
@@ -245,7 +285,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = run_experiment(
         dataset, args.model, strategy, scale=get_scale(args.scale)
     )
-    print(result)
+    emit(result)
     return 0
 
 
@@ -254,10 +294,10 @@ def _cmd_fit(args: argparse.Namespace) -> int:
 
     # Usage errors exit before any dataset generation happens.
     if args.shard_rows is not None and args.shards is not None:
-        print(
+        emit(
             "error: --shard-rows and --shards both fix the shard layout; "
             "pass exactly one (rows per shard, or shard count)",
-            file=sys.stderr,
+            error=True,
         )
         return 2
     streaming_flags = (
@@ -268,11 +308,11 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     )
     if not args.stream and any(v is not None for _, v in streaming_flags):
         names = "/".join(name for name, _ in streaming_flags)
-        print(f"error: {names} require --stream", file=sys.stderr)
+        emit(f"error: {names} require --stream", error=True)
         return 2
     for name, value in streaming_flags[:3]:
         if value is not None and value < 1:
-            print(f"error: {name} must be >= 1, got {value}", file=sys.stderr)
+            emit(f"error: {name} must be >= 1, got {value}", error=True)
             return 2
     if args.stream:
         n_shards = args.shards
@@ -288,22 +328,32 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         )
     else:
         spec = SourceSpec()
-    scale = get_scale(args.scale)
-    dataset = generate_real_world(
-        args.dataset, n_fact=scale.n_fact, seed=args.seed
-    )
-    strategy = _STRATEGIES[args.strategy]()
-    result = run_experiment(
-        dataset, args.model, strategy, scale=scale, source=spec, seed=args.seed
-    )
-    if args.stream:
-        shards = result.best_params
-        print(
-            f"streamed {shards['n_shards']} shard(s) of "
-            f"<= {shards['shard_rows']} rows"
+
+    def run() -> int:
+        scale = get_scale(args.scale)
+        dataset = generate_real_world(
+            args.dataset, n_fact=scale.n_fact, seed=args.seed
         )
-    print(result)
-    return 0
+        strategy = _STRATEGIES[args.strategy]()
+        result = run_experiment(
+            dataset, args.model, strategy, scale=scale, source=spec,
+            seed=args.seed,
+        )
+        if args.stream:
+            shards = result.best_params
+            emit(
+                f"streamed {shards['n_shards']} shard(s) of "
+                f"<= {shards['shard_rows']} rows"
+            )
+        emit(result)
+        return 0
+
+    if args.telemetry is None:
+        return run()
+    with obs.tracer().collect():
+        code = run()
+    _write_telemetry(args.telemetry)
+    return code
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -328,7 +378,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     for n_r, result in results:
         figure.add_point(n_r, result.test_error)
-    print(figure.to_csv() if args.csv else figure.render())
+    emit(figure.to_csv() if args.csv else figure.render())
     return 0
 
 
@@ -337,8 +387,8 @@ def _cmd_usage(args: argparse.Namespace) -> int:
 
     dataset = generate_real_world(args.dataset, n_fact=args.n_fact, seed=args.seed)
     report = fk_usage_report(dataset, strategy=join_all_strategy())
-    print(report)
-    print(
+    emit(report)
+    emit(
         f"foreign-key splits: {report.fraction('fk'):.0%}; "
         f"foreign-feature splits: {report.fraction('foreign'):.0%}"
     )
@@ -372,77 +422,101 @@ def _cmd_save_model(args: argparse.Namespace) -> int:
         metadata={"seed": args.seed, "n_fact": scale.n_fact},
     )
     path = save_artifact(artifact, args.out)
-    print(pipeline.result())
-    print(f"saved {artifact.summary()}")
-    print(f"  -> {path}")
+    emit(pipeline.result())
+    emit(f"saved {artifact.summary()}")
+    emit(f"  -> {path}")
     return 0
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
     from repro.serving import PredictionServer, load_artifact
 
-    artifact = load_artifact(args.artifact)
-    dataset = generate_real_world(
-        artifact.dataset_name,
-        n_fact=artifact.metadata.get("n_fact"),
-        seed=artifact.metadata.get("seed", 0),
+    def run() -> tuple[int, PredictionServer | None]:
+        artifact = load_artifact(args.artifact)
+        dataset = generate_real_world(
+            artifact.dataset_name,
+            n_fact=artifact.metadata.get("n_fact"),
+            seed=artifact.metadata.get("seed", 0),
+        )
+        server = PredictionServer(
+            artifact, dataset.schema, max_batch_size=args.batch_size
+        )
+        rows = dataset.test[: args.rows]
+        if rows.size == 0:
+            emit("no rows requested (increase --rows)", error=True)
+            return 2, server
+        fact_rows = dataset.schema.fact.select(rows)
+        predictions = server.predict_table(fact_rows)
+        target = dataset.schema.fact.column(dataset.schema.target)
+        observed = target.domain.decode(target.codes[rows])
+        hits = sum(p == o for p, o in zip(predictions, observed))
+        emit(f"{artifact.summary()}")
+        for i, (p, o) in enumerate(zip(predictions, observed)):
+            emit(f"  row {rows[i]}: predicted={p!r} observed={o!r}")
+        emit(
+            f"accuracy {hits}/{len(predictions)} = "
+            f"{hits / len(predictions):.3f}"
+        )
+        emit(server.stats())
+        return 0, server
+
+    if args.telemetry is None:
+        return run()[0]
+    with obs.tracer().collect():
+        code, server = run()
+    # The server's registry carries the serving latency breakdown; the
+    # report's metrics section scopes to it.
+    _write_telemetry(
+        args.telemetry, metrics=server.metrics if server else None
     )
-    server = PredictionServer(
-        artifact, dataset.schema, max_batch_size=args.batch_size
-    )
-    rows = dataset.test[: args.rows]
-    if rows.size == 0:
-        print("no rows requested (increase --rows)", file=sys.stderr)
-        return 2
-    fact_rows = dataset.schema.fact.select(rows)
-    predictions = server.predict_table(fact_rows)
-    target = dataset.schema.fact.column(dataset.schema.target)
-    observed = target.domain.decode(target.codes[rows])
-    hits = sum(p == o for p, o in zip(predictions, observed))
-    print(f"{artifact.summary()}")
-    for i, (p, o) in enumerate(zip(predictions, observed)):
-        print(f"  row {rows[i]}: predicted={p!r} observed={o!r}")
-    print(f"accuracy {hits}/{len(predictions)} = {hits / len(predictions):.3f}")
-    print(server.stats())
-    return 0
+    return code
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.serving import concurrent_serving_throughput, serving_throughput
 
-    scale = get_scale(args.scale)
-    dataset = generate_real_world(
-        args.dataset, n_fact=scale.n_fact, seed=args.seed
-    )
-    if args.clients > 0:
-        if args.arrival_rate is not None and args.arrival_rate <= 0:
-            print(
-                f"error: --arrival-rate must be positive, got "
-                f"{args.arrival_rate}",
-                file=sys.stderr,
+    if args.clients > 0 and args.arrival_rate is not None and args.arrival_rate <= 0:
+        emit(
+            f"error: --arrival-rate must be positive, got "
+            f"{args.arrival_rate}",
+            error=True,
+        )
+        return 2
+
+    def run() -> int:
+        scale = get_scale(args.scale)
+        dataset = generate_real_world(
+            args.dataset, n_fact=scale.n_fact, seed=args.seed
+        )
+        if args.clients > 0:
+            report = concurrent_serving_throughput(
+                dataset,
+                model_key=args.model,
+                rows=args.rows,
+                batch_size=args.batch_size,
+                clients=args.clients,
+                worker_counts=tuple(args.workers),
+                arrival_rate=args.arrival_rate,
+                scale=scale,
             )
-            return 2
-        report = concurrent_serving_throughput(
+            emit(report.render())
+            return 0 if report.identical else 2
+        report = serving_throughput(
             dataset,
             model_key=args.model,
             rows=args.rows,
             batch_size=args.batch_size,
-            clients=args.clients,
-            worker_counts=tuple(args.workers),
-            arrival_rate=args.arrival_rate,
             scale=scale,
         )
-        print(report.render())
-        return 0 if report.identical else 2
-    report = serving_throughput(
-        dataset,
-        model_key=args.model,
-        rows=args.rows,
-        batch_size=args.batch_size,
-        scale=scale,
-    )
-    print(report.render())
-    return 0
+        emit(report.render())
+        return 0
+
+    if args.telemetry is None:
+        return run()
+    with obs.tracer().collect():
+        code = run()
+    _write_telemetry(args.telemetry)
+    return code
 
 
 _COMMANDS = {
@@ -470,7 +544,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        emit(f"error: {error}", error=True)
         return 2
 
 

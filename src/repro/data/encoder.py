@@ -28,14 +28,16 @@ paper's NoJoin payoff holds on every path.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from collections.abc import Mapping, Sequence
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from repro.errors import SchemaError
 from repro.ml.encoding import CategoricalMatrix, check_code_ranges
+from repro.obs import MetricsRegistry, trace
 from repro.relational.join import dimension_row_index, resolve_dimension_rows
 from repro.relational.schema import StarSchema
 from repro.relational.table import Table
@@ -45,9 +47,11 @@ from repro.relational.table import Table
 class CacheStats:
     """Hit/miss/eviction accounting for the dimension-index cache.
 
-    ``builds`` counts actual index constructions; under concurrent
-    access it can be smaller than ``misses`` because racing threads
-    that miss on the same cold dimension share one build.
+    A point-in-time snapshot view over the cache's registry-backed
+    counters (``data.dim_cache.*``) — the cache does not keep a second
+    set of books.  ``builds`` counts actual index constructions; under
+    concurrent access it can be smaller than ``misses`` because racing
+    threads that miss on the same cold dimension share one build.
     """
 
     hits: int = 0
@@ -64,6 +68,14 @@ class CacheStats:
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when none yet)."""
         return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot (fields plus derived rates)."""
+        return {
+            **asdict(self),
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
 
     def __str__(self) -> str:
         return (
@@ -99,25 +111,45 @@ class DimensionIndexCache:
     while another thread still gathers from it stays valid.
     """
 
-    def __init__(self, schema: StarSchema, capacity: int = 8):
+    def __init__(
+        self,
+        schema: StarSchema,
+        capacity: int = 8,
+        registry: MetricsRegistry | None = None,
+    ):
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.schema = schema
         self.capacity = capacity
-        self.stats = CacheStats()
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._hits = self.metrics.counter("data.dim_cache.hits")
+        self._misses = self.metrics.counter("data.dim_cache.misses")
+        self._evictions = self.metrics.counter("data.dim_cache.evictions")
+        self._builds = self.metrics.counter("data.dim_cache.builds")
+        self._build_seconds = self.metrics.histogram("data.dim_cache.build_s")
         self._lock = threading.Lock()
         self._entries: OrderedDict[str, _DimensionIndex] = OrderedDict()
         self._build_locks: dict[str, threading.Lock] = {}
+
+    @property
+    def stats(self) -> CacheStats:
+        """Point-in-time snapshot of the registry-backed counters."""
+        return CacheStats(
+            hits=self._hits.value,
+            misses=self._misses.value,
+            evictions=self._evictions.value,
+            builds=self._builds.value,
+        )
 
     def get(self, name: str) -> _DimensionIndex:
         """Fetch (building if needed) the index state of dimension ``name``."""
         with self._lock:
             entry = self._entries.get(name)
             if entry is not None:
-                self.stats.hits += 1
+                self._hits.inc()
                 self._entries.move_to_end(name)
                 return entry
-            self.stats.misses += 1
+            self._misses.inc()
             build_lock = self._build_locks.get(name)
             if build_lock is None:
                 build_lock = self._build_locks[name] = threading.Lock()
@@ -128,13 +160,15 @@ class DimensionIndexCache:
                     # Another thread finished the build while we waited.
                     self._entries.move_to_end(name)
                     return entry
+            built_at = time.perf_counter()
             entry = self._build(name)
+            self._build_seconds.observe(time.perf_counter() - built_at)
             with self._lock:
-                self.stats.builds += 1
+                self._builds.inc()
                 self._entries[name] = entry
                 if len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)
-                    self.stats.evictions += 1
+                    self._evictions.inc()
                 self._build_locks.pop(name, None)
             return entry
 
@@ -165,6 +199,11 @@ class ShardEncoder:
         joined ones are resolved through the :class:`DimensionIndexCache`.
     cache_capacity:
         Maximum dimension indexes kept resident (default 8).
+    registry:
+        Metrics registry for the encoder's telemetry (cache counters,
+        per-shard encode latency).  ``None`` creates a private one, so
+        each encoder's stats stay exact; pass a shared registry to pool
+        several components into one snapshot.
     """
 
     def __init__(
@@ -172,10 +211,17 @@ class ShardEncoder:
         schema: StarSchema,
         strategy: "repro.core.strategies.JoinStrategy",  # noqa: F821
         cache_capacity: int = 8,
+        registry: MetricsRegistry | None = None,
     ):
         self.schema = schema
         self.strategy = strategy
-        self.cache = DimensionIndexCache(schema, capacity=cache_capacity)
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._encode_seconds = self.metrics.histogram("data.encode.shard_s")
+        self._encoded_shards = self.metrics.counter("data.encode.shards")
+        self._encoded_rows = self.metrics.counter("data.encode.rows")
+        self.cache = DimensionIndexCache(
+            schema, capacity=cache_capacity, registry=self.metrics
+        )
         self.feature_names: tuple[str, ...] = tuple(strategy.feature_names(schema))
         self.joined_dimensions: tuple[str, ...] = tuple(
             strategy.joined_dimensions(schema)
@@ -343,11 +389,22 @@ class ShardEncoder:
         The training-side entry point: the same assembly the serving
         path runs per micro-batch, plus the target codes read straight
         off the fact block (labels never pass through a join).
+
+        Each call lands one observation in the ``data.encode.shard_s``
+        histogram and one merged ``encode.shard`` span, so multi-pass
+        training (FISTA re-streams the source every iteration) reports
+        one aggregate line instead of thousands of spans.
         """
-        return (
-            self.assemble_table(fact_rows),
-            fact_rows.codes(self.schema.target),
-        )
+        started = time.perf_counter()
+        with trace("encode.shard", merge=True):
+            encoded = (
+                self.assemble_table(fact_rows),
+                fact_rows.codes(self.schema.target),
+            )
+        self._encode_seconds.observe(time.perf_counter() - started)
+        self._encoded_shards.inc()
+        self._encoded_rows.inc(len(fact_rows))
+        return encoded
 
     def __repr__(self) -> str:
         return (

@@ -25,11 +25,13 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections.abc import Iterator, Sequence
 
 import numpy as np
 
 from repro.data.source import FeatureSource, SourceDecorator
+from repro.obs import MetricsRegistry
 
 #: How long a blocked worker waits before re-checking for cancellation.
 _POLL_SECONDS = 0.05
@@ -51,13 +53,32 @@ class PrefetchingSource(SourceDecorator):
         the consumer holds).  Peak memory grows by ``depth`` shards —
         keep it small; the default of 2 already hides production
         latency behind consumption.
+    registry:
+        Metrics registry backing the ``data.prefetch.*`` metrics:
+        queue occupancy (gauge with high-water mark), producer stall
+        seconds (time the worker spent blocked on a full queue) and the
+        consumer-wait latency histogram.  ``None`` keeps a private one.
     """
 
-    def __init__(self, source: FeatureSource, depth: int = 2):
+    def __init__(
+        self,
+        source: FeatureSource,
+        depth: int = 2,
+        registry: MetricsRegistry | None = None,
+    ):
         if depth < 1:
             raise ValueError(f"prefetch depth must be >= 1, got {depth}")
         super().__init__(source)
         self.depth = depth
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._queue_depth = self.metrics.gauge("data.prefetch.queue_depth")
+        self._shards = self.metrics.counter("data.prefetch.shards")
+        self._producer_stall = self.metrics.counter(
+            "data.prefetch.producer_stall_s"
+        )
+        self._consumer_wait = self.metrics.histogram(
+            "data.prefetch.consumer_wait_s"
+        )
 
     def iter_shards(
         self, order: Sequence[int] | np.ndarray | None = None
@@ -68,8 +89,17 @@ class PrefetchingSource(SourceDecorator):
         def produce() -> None:
             try:
                 for item in self.source.iter_shards(order):
+                    enqueue_started = time.perf_counter()
                     if not _put(handoff, (_SHARD, item), cancelled):
                         return
+                    # Any time beyond an immediate put is the producer
+                    # blocked on a full queue — the consumer is the
+                    # bottleneck, prefetching is doing its job.
+                    self._producer_stall.inc(
+                        time.perf_counter() - enqueue_started
+                    )
+                    self._shards.inc()
+                    self._queue_depth.set(handoff.qsize())
                 _put(handoff, (_DONE, None), cancelled)
             except BaseException as error:  # propagated, not swallowed
                 _put(handoff, (_ERROR, error), cancelled)
@@ -80,7 +110,10 @@ class PrefetchingSource(SourceDecorator):
         worker.start()
         try:
             while True:
+                wait_started = time.perf_counter()
                 kind, item = handoff.get()
+                self._consumer_wait.observe(time.perf_counter() - wait_started)
+                self._queue_depth.set(handoff.qsize())
                 if kind == _DONE:
                     return
                 if kind == _ERROR:

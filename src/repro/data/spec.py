@@ -19,6 +19,7 @@ from pathlib import Path
 from repro.data.prefetch import PrefetchingSource
 from repro.data.source import FeatureSource, MatrixSource
 from repro.data.spill import SpillCacheSource
+from repro.obs import MetricsRegistry
 
 #: The split names every dataset carries, in scoring order.
 SPLITS = ("train", "validation", "test")
@@ -70,7 +71,11 @@ class SourceSpec:
     # Construction
     # ------------------------------------------------------------------
     def split_sources(
-        self, dataset, strategy, splits: tuple[str, ...] = SPLITS
+        self,
+        dataset,
+        strategy,
+        splits: tuple[str, ...] = SPLITS,
+        registry: MetricsRegistry | None = None,
     ) -> dict[str, FeatureSource]:
         """Build one decorated source per requested split.
 
@@ -79,6 +84,12 @@ class SourceSpec:
         the streaming path builds one shard stream per split, so no
         split is ever resident whole.  Callers own the sources and
         should ``close()`` them when done (spill caches hold disk).
+
+        ``registry`` threads one metrics registry through the encoder
+        and every decorator (the experiment runner passes the
+        process-wide one, so ``repro fit --telemetry`` reports
+        ``data.*`` metrics); ``None`` keeps each component's private
+        default.
         """
         if self.streaming:
             from repro.data.encoder import ShardEncoder
@@ -87,7 +98,7 @@ class SourceSpec:
             # One encoder across the splits: they share the schema, so
             # each dimension's index is built once per experiment, not
             # once per split.
-            encoder = ShardEncoder(dataset.schema, strategy)
+            encoder = ShardEncoder(dataset.schema, strategy, registry=registry)
             sources = {
                 split: StreamingMatrices(
                     ShardedDataset.from_split(
@@ -110,7 +121,7 @@ class SourceSpec:
             }
             sources = {split: MatrixSource(*blocks[split]) for split in splits}
         return {
-            split: self.decorate(source, label=split)
+            split: self.decorate(source, label=split, registry=registry)
             for split, source in sources.items()
         }
 
@@ -119,7 +130,10 @@ class SourceSpec:
         return self.split_sources(dataset, strategy, splits=(split,))[split]
 
     def decorate(
-        self, source: FeatureSource, label: str | None = None
+        self,
+        source: FeatureSource,
+        label: str | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> FeatureSource:
         """Wrap a source with this spec's decorators (spill, then prefetch).
 
@@ -134,9 +148,13 @@ class SourceSpec:
                 directory = Path(self.spill_cache)
                 if label is not None:
                     directory = directory / label
-            source = SpillCacheSource(source, directory=directory)
+            source = SpillCacheSource(
+                source, directory=directory, registry=registry
+            )
         if self.prefetch is not None:
-            source = PrefetchingSource(source, depth=self.prefetch)
+            source = PrefetchingSource(
+                source, depth=self.prefetch, registry=registry
+            )
         return source
 
     def describe(self) -> dict:

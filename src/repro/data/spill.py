@@ -22,22 +22,32 @@ from __future__ import annotations
 import shutil
 import tempfile
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 import numpy as np
 
 from repro.data.source import FeatureSource, SourceDecorator
+from repro.obs import MetricsRegistry
 
 
 @dataclass
 class SpillStats:
-    """Hit/miss/eviction accounting for one spill cache."""
+    """Hit/miss/eviction accounting for one spill cache.
+
+    A point-in-time snapshot view over the cache's registry-backed
+    metrics (``data.spill.*``).  ``spilled_bytes`` is gauge-backed — it
+    falls when evictions remove files from disk.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     spilled_bytes: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot."""
+        return asdict(self)
 
     def __str__(self) -> str:
         return (
@@ -67,6 +77,9 @@ class SpillCacheSource(SourceDecorator):
         LRU byte budget for the on-disk cache; ``None`` means
         unbounded.  Eviction is by least-recent *use*, so a sequential
         multi-pass workload keeps the hottest tail resident.
+    registry:
+        Metrics registry backing the ``data.spill.*`` metrics.
+        ``None`` keeps a private one (exact per-instance stats).
     """
 
     def __init__(
@@ -74,6 +87,7 @@ class SpillCacheSource(SourceDecorator):
         source: FeatureSource,
         directory: str | Path | None = None,
         max_bytes: int | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         super().__init__(source)
         if max_bytes is not None and max_bytes < 1:
@@ -85,9 +99,23 @@ class SpillCacheSource(SourceDecorator):
         else:
             self.directory = Path(directory)
             self.directory.mkdir(parents=True, exist_ok=True)
-        self.stats = SpillStats()
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._hits = self.metrics.counter("data.spill.hits")
+        self._misses = self.metrics.counter("data.spill.misses")
+        self._evictions = self.metrics.counter("data.spill.evictions")
+        self._spilled_bytes = self.metrics.gauge("data.spill.bytes")
         self._entries: OrderedDict[int, int] = OrderedDict()  # index -> bytes
         self._closed = False
+
+    @property
+    def stats(self) -> SpillStats:
+        """Point-in-time snapshot of the registry-backed metrics."""
+        return SpillStats(
+            hits=self._hits.value,
+            misses=self._misses.value,
+            evictions=self._evictions.value,
+            spilled_bytes=int(self._spilled_bytes.value),
+        )
 
     # ------------------------------------------------------------------
     # Cache mechanics
@@ -107,9 +135,9 @@ class SpillCacheSource(SourceDecorator):
             return self.source.shard(index)
         if index in self._entries:
             self._entries.move_to_end(index)
-            self.stats.hits += 1
+            self._hits.inc()
             return self._load(index)
-        self.stats.misses += 1
+        self._misses.inc()
         X, y = self.source.shard(index)
         self._store(index, X, y)
         return X, y
@@ -135,7 +163,7 @@ class SpillCacheSource(SourceDecorator):
             np.savez(handle, codes=X.codes, y=np.asarray(y))
         size = path.stat().st_size
         self._entries[index] = size
-        self.stats.spilled_bytes += size
+        self._spilled_bytes.add(size)
         if self.max_bytes is None:
             return
         while (
@@ -151,8 +179,8 @@ class SpillCacheSource(SourceDecorator):
     def _evict(self) -> None:
         index, size = self._entries.popitem(last=False)
         self._path(index).unlink(missing_ok=True)
-        self.stats.evictions += 1
-        self.stats.spilled_bytes -= size
+        self._evictions.inc()
+        self._spilled_bytes.add(-size)
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle

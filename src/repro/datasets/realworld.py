@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.datasets.skew import ZipfFK
 from repro.datasets.splits import SplitDataset, three_way_split
+from repro.obs import registry, trace
 from repro.relational.column import CategoricalColumn, Domain
 from repro.relational.schema import KFKConstraint, StarSchema
 from repro.relational.table import Table
@@ -346,14 +347,25 @@ def generate_real_world(
     n_fact: int | None = None,
     seed: int | np.random.Generator | None = 0,
 ) -> SplitDataset:
-    """Generate one emulated dataset by name (see :data:`REAL_WORLD_SPECS`)."""
+    """Generate one emulated dataset by name (see :data:`REAL_WORLD_SPECS`).
+
+    Generation is cross-cutting setup work shared by every command and
+    experiment, so it counts into the process-wide registry
+    (``datasets.generated`` / ``datasets.rows``) and traces as a
+    ``generate`` span.
+    """
     try:
         spec = REAL_WORLD_SPECS[name]
     except KeyError:
         raise ValueError(
             f"unknown dataset {name!r}; available: {sorted(REAL_WORLD_SPECS)}"
         ) from None
-    return spec.generate(n_fact=n_fact, seed=seed)
+    with trace("generate", dataset=name):
+        dataset = spec.generate(n_fact=n_fact, seed=seed)
+    metrics = registry()
+    metrics.counter("datasets.generated").inc()
+    metrics.counter("datasets.rows").inc(dataset.schema.fact.n_rows)
+    return dataset
 
 
 @dataclass

@@ -36,6 +36,8 @@ from repro.ml import (
 from repro.ml.encoding import CategoricalMatrix
 from repro.ml.linear import L1LogisticRegression, LogisticRegressionPath
 from repro.ml.selection import BackwardSelection
+from repro.obs import registry as global_registry
+from repro.obs import trace
 
 
 class PathTuner:
@@ -224,10 +226,14 @@ class FittedPipeline:
 
     def result(self) -> RunResult:
         """Score the pipeline into the :class:`RunResult` table row."""
-        test_accuracy = self.tuner.score(self.matrices.X_test, self.matrices.y_test)
-        train_accuracy = self.tuner.score(
-            self.matrices.X_train, self.matrices.y_train
-        )
+        with trace("score", split="test"):
+            test_accuracy = self.tuner.score(
+                self.matrices.X_test, self.matrices.y_test
+            )
+        with trace("score", split="train"):
+            train_accuracy = self.tuner.score(
+                self.matrices.X_train, self.matrices.y_train
+            )
         return RunResult(
             dataset=self.dataset_name,
             model=self.spec.display,
@@ -275,14 +281,18 @@ def fit_pipeline(
     scale = scale or get_scale()
     started = time.perf_counter()
     if matrices is None:
-        matrices = strategy.matrices(dataset)
+        # Materialisation is the paper's join-or-avoid quantity: the
+        # KFK join (when the strategy keeps it) plus feature encoding.
+        with trace("join", strategy=strategy.name):
+            matrices = strategy.matrices(dataset)
     tuner = spec.make_tuner(scale)
-    tuner.fit(
-        matrices.X_train,
-        matrices.y_train,
-        matrices.X_validation,
-        matrices.y_validation,
-    )
+    with trace("tune", model=model_key):
+        tuner.fit(
+            matrices.X_train,
+            matrices.y_train,
+            matrices.X_validation,
+            matrices.y_validation,
+        )
     elapsed = time.perf_counter() - started
     return FittedPipeline(
         dataset_name=dataset.name,
@@ -379,17 +389,28 @@ def _run_source_experiment(
     scale = scale or get_scale()
     model = make_streaming_model(model_key, scale, seed)
     started = time.perf_counter()
-    sources = spec.split_sources(dataset, strategy)
+    # Source construction resolves the strategy's join plan per split
+    # (sharded sources then encode lazily, shard by shard, inside fit
+    # and score — those show up as merged ``encode.shard`` spans).
+    with trace("join", strategy=strategy.name):
+        sources = spec.split_sources(
+            dataset, strategy, registry=global_registry()
+        )
     try:
         trainer = StreamingTrainer(model, seed=seed)
         trainer.fit(sources["train"])
+
+        def scored(split: str) -> float:
+            with trace("score", split=split):
+                return split_accuracy(model, sources[split])
+
         result = RunResult(
             dataset=dataset.name,
             model=streaming_model_display(model_key),
             strategy=strategy.name,
-            test_accuracy=split_accuracy(model, sources["test"]),
-            train_accuracy=split_accuracy(model, sources["train"]),
-            validation_accuracy=split_accuracy(model, sources["validation"]),
+            test_accuracy=scored("test"),
+            train_accuracy=scored("train"),
+            validation_accuracy=scored("validation"),
             seconds=0.0,
             n_features=sources["train"].n_features,
             best_params={

@@ -1,0 +1,276 @@
+"""Span-based run tracing: where did this run spend its time (and memory)?
+
+A *span* is one named, timed stage of a run — ``fit``, ``fit.epoch``,
+``score`` — with attributes (``shard=3``), free-form annotations (a
+loss trajectory), optional tracemalloc peak bytes, and child spans.  A
+:class:`Tracer` collects spans into a tree per thread and snapshots the
+forest as a JSON-serializable *run report*; ``repro fit --telemetry
+out.json`` writes one, and the learned cost advisor on the ROADMAP
+consumes them as training data.
+
+Tracing is **off by default** and costs one flag check per ``trace()``
+call while off, so instrumented library code (the streaming trainer,
+the experiment runner, the shard encoder) can call it unconditionally.
+Turn it on around a region::
+
+    from repro import obs
+
+    with obs.tracer().collect():
+        with obs.trace("fit", model="lr_l1"):
+            ...
+    report = obs.tracer().report()
+
+Hot loops use merged spans: ``trace("encode.shard", merge=True)``
+folds every same-named child under the current parent into a single
+aggregate entry (count / total / min / max seconds), so a 10,000-pass
+FISTA run reports one ``encode.shard`` line, not 10,000 spans.
+
+Memory: a span entered with ``memory=True`` starts :mod:`tracemalloc`
+if nothing else did (and stops it on exit), recording the peak traced
+bytes over its extent.  When tracing is already active — e.g. a parent
+span started it — nested spans record the process peak since tracing
+began; per-span isolation would require resetting the shared peak and
+corrupting the parent's reading.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import tracemalloc
+from contextlib import contextmanager
+
+from repro.obs.metrics import MetricsRegistry, registry
+
+__all__ = ["Span", "Tracer", "trace", "tracer"]
+
+
+class Span:
+    """One named, timed stage; nodes of the run-report tree."""
+
+    __slots__ = (
+        "name", "attributes", "wall_s", "peak_bytes", "children",
+        "annotations", "count", "min_s", "max_s", "_started",
+        "_owns_tracemalloc",
+    )
+
+    def __init__(self, name: str, attributes: dict | None = None):
+        self.name = name
+        self.attributes = attributes or {}
+        self.wall_s = 0.0
+        self.peak_bytes: int | None = None
+        self.children: list[Span] = []
+        self.annotations: dict = {}
+        # Aggregate fields: a plain span has count == 1; a merged span
+        # accumulates its siblings.
+        self.count = 1
+        self.min_s = 0.0
+        self.max_s = 0.0
+        self._started = 0.0
+        self._owns_tracemalloc = False
+
+    def annotate(self, **values) -> None:
+        """Attach free-form values (must be JSON-serializable)."""
+        self.annotations.update(values)
+
+    def _fold(self, wall_s: float) -> None:
+        """Merge one more same-named timing into this aggregate span."""
+        self.count += 1
+        self.wall_s += wall_s
+        self.min_s = min(self.min_s, wall_s)
+        self.max_s = max(self.max_s, wall_s)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable run-report node."""
+        node: dict = {"name": self.name, "wall_s": self.wall_s}
+        if self.attributes:
+            node["attributes"] = dict(self.attributes)
+        if self.count > 1:
+            node["count"] = self.count
+            node["min_s"] = self.min_s
+            node["max_s"] = self.max_s
+        if self.peak_bytes is not None:
+            node["peak_bytes"] = self.peak_bytes
+        if self.annotations:
+            node["annotations"] = dict(self.annotations)
+        if self.children:
+            node["children"] = [child.as_dict() for child in self.children]
+        return node
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.wall_s:.4f}s, "
+            f"{len(self.children)} children)"
+        )
+
+
+class _NullSpan:
+    """Shared stand-in yielded while the tracer is inactive."""
+
+    __slots__ = ()
+    name = "<inactive>"
+
+    def annotate(self, **values):
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects span trees per thread; snapshotable as a run report.
+
+    Each thread builds its own span stack (spans opened on a worker
+    thread nest under that thread's current span, not another
+    thread's), and completed root spans from every thread land in one
+    shared list guarded by a lock.
+    """
+
+    def __init__(self):
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: list[Span] = []
+        self._active = 0  # collect() nesting depth
+
+    # ------------------------------------------------------------------
+    # Activation
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether spans are currently being collected."""
+        return self._active > 0
+
+    @contextmanager
+    def collect(self, fresh: bool = True):
+        """Activate tracing inside the block.
+
+        ``fresh`` (default) drops previously collected roots first, so
+        one ``collect()`` == one run report.  Nesting ``collect()``
+        blocks is allowed; inner blocks never clear.
+        """
+        with self._lock:
+            if fresh and self._active == 0:
+                self._roots = []
+            self._active += 1
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._active -= 1
+
+    # ------------------------------------------------------------------
+    # Span entry
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        memory: bool = False,
+        merge: bool = False,
+        **attributes,
+    ):
+        """Open one span; yields it (or a no-op when inactive).
+
+        With ``merge=True`` repeated spans of the same name under one
+        parent fold into a single aggregate entry — use it for per-shard
+        / per-pass work that would otherwise explode the report.
+        """
+        if not self.active:
+            yield _NULL_SPAN
+            return
+        span = Span(name, attributes)
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        if memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            span._owns_tracemalloc = True
+        stack.append(span)
+        span._started = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.wall_s = time.perf_counter() - span._started
+            span.min_s = span.max_s = span.wall_s
+            if tracemalloc.is_tracing() and (memory or span._owns_tracemalloc):
+                span.peak_bytes = tracemalloc.get_traced_memory()[1]
+                if span._owns_tracemalloc:
+                    tracemalloc.stop()
+            stack.pop()
+            self._attach(span, parent, merge)
+
+    def _attach(self, span: Span, parent: Span | None, merge: bool) -> None:
+        if parent is not None:
+            if merge:
+                for sibling in parent.children:
+                    if sibling.name == span.name and sibling.count >= 1:
+                        sibling._fold(span.wall_s)
+                        return
+            parent.children.append(span)
+            return
+        with self._lock:
+            if merge:
+                for sibling in self._roots:
+                    if sibling.name == span.name:
+                        sibling._fold(span.wall_s)
+                        return
+            self._roots.append(span)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def roots(self) -> list[Span]:
+        """Completed top-level spans collected so far."""
+        with self._lock:
+            return list(self._roots)
+
+    def report(self, metrics: MetricsRegistry | None = None) -> dict:
+        """The JSON-serializable run report.
+
+        ``metrics`` defaults to the process-wide registry; pass a
+        component's own registry (or ``None`` explicitly via an empty
+        one) to scope the metrics section.
+        """
+        if metrics is None:
+            metrics = registry()
+        payload = {
+            "version": 1,
+            "spans": [span.as_dict() for span in self.roots()],
+            "metrics": metrics.snapshot(),
+        }
+        # A run report must always round-trip; fail loudly at the
+        # producer if an annotation slipped in something unserializable.
+        json.dumps(payload)
+        return payload
+
+    def reset(self) -> None:
+        with self._lock:
+            self._roots = []
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "inactive"
+        return f"Tracer({len(self.roots())} roots, {state})"
+
+
+_TRACER = Tracer()
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer used by :func:`trace`."""
+    return _TRACER
+
+
+def trace(name: str, memory: bool = False, merge: bool = False, **attributes):
+    """Open a span on the process-wide tracer (no-op while inactive)."""
+    return _TRACER.span(name, memory=memory, merge=merge, **attributes)

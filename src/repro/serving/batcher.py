@@ -33,8 +33,12 @@ from __future__ import annotations
 import threading
 import time
 from collections.abc import Callable, Sequence
+
+import numpy as np
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.obs import MetricsRegistry
 
 
 class PendingPrediction:
@@ -98,13 +102,14 @@ class PendingPrediction:
 class BatcherStats:
     """Accounting for flush behaviour; exposed via server stats.
 
-    ``flushes``/``rows_flushed`` count *successful* batch runs only;
-    failed runs are accounted separately in ``failed_flushes``/
-    ``rows_failed`` (with the raising exception type tallied in
-    ``failure_reasons``), so once in-flight batches complete,
-    ``submitted`` reconciles against ``rows_flushed + rows_failed +
-    len(queue)`` — rows detached into a batch that is still executing
-    are transiently in neither bucket.
+    A point-in-time snapshot view over the batcher's registry-backed
+    metrics (``serving.batcher.*``).  ``flushes``/``rows_flushed``
+    count *successful* batch runs only; failed runs are accounted
+    separately in ``failed_flushes``/``rows_failed`` (with the raising
+    exception type tallied in ``failure_reasons``), so once in-flight
+    batches complete, ``submitted`` reconciles against ``rows_flushed +
+    rows_failed + len(queue)`` — rows detached into a batch that is
+    still executing are transiently in neither bucket.
     """
 
     submitted: int = 0
@@ -120,6 +125,20 @@ class BatcherStats:
     def mean_batch(self) -> float:
         """Average rows per flushed batch (0.0 before any flush)."""
         return self.rows_flushed / self.flushes if self.flushes else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot (fields plus derived means)."""
+        return {
+            "submitted": self.submitted,
+            "flushes": self.flushes,
+            "rows_flushed": self.rows_flushed,
+            "flush_reasons": dict(self.flush_reasons),
+            "max_batch": self.max_batch,
+            "mean_batch": self.mean_batch,
+            "failed_flushes": self.failed_flushes,
+            "rows_failed": self.rows_failed,
+            "failure_reasons": dict(self.failure_reasons),
+        }
 
 
 class MicroBatcher:
@@ -149,7 +168,17 @@ class MicroBatcher:
         thread enforces the deadline.  When false, deadlines are only
         checked inline on ``submit``/``poll`` and ``result()`` forces a
         flush — the deterministic, single-threaded semantics.
+    registry:
+        Metrics registry backing the ``serving.batcher.*`` metrics and
+        the ``serving.latency.queue_wait_s`` / ``serving.latency.request_s``
+        histograms.  A :class:`~repro.serving.server.PredictionServer`
+        passes its own, so per-stage serving latency lands in one
+        snapshot.  ``None`` keeps a private registry.
     """
+
+    #: Per-reason flush/failure tallies live under these metric prefixes.
+    _FLUSH_REASON_PREFIX = "serving.batcher.flush_reason."
+    _FAILURE_REASON_PREFIX = "serving.batcher.failure_reason."
 
     def __init__(
         self,
@@ -158,6 +187,7 @@ class MicroBatcher:
         max_wait_s: float | None = 0.005,
         clock: Callable[[], float] = time.monotonic,
         background_flush: bool = True,
+        registry: MetricsRegistry | None = None,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -168,14 +198,36 @@ class MicroBatcher:
         self.max_wait_s = max_wait_s
         self.clock = clock
         self.background_flush = background_flush
-        self.stats = BatcherStats()
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._submitted = self.metrics.counter("serving.batcher.submitted")
+        self._flushes = self.metrics.counter("serving.batcher.flushes")
+        self._rows_flushed = self.metrics.counter("serving.batcher.rows_flushed")
+        self._failed_flushes = self.metrics.counter(
+            "serving.batcher.failed_flushes"
+        )
+        self._rows_failed = self.metrics.counter("serving.batcher.rows_failed")
+        self._batch_rows = self.metrics.gauge("serving.batcher.batch_rows")
+        self._queue_depth = self.metrics.gauge("serving.batcher.queue_depth")
+        self._queue_wait = self.metrics.histogram("serving.latency.queue_wait_s")
+        self._request_latency = self.metrics.histogram(
+            "serving.latency.request_s"
+        )
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         # Delivery signal for blocking result() calls: notified once per
         # completed batch (success or failure), on its own lock so
         # waiters never contend with submitters.
         self._delivered = threading.Condition()
-        self._queue: list[tuple[Any, PendingPrediction]] = []
+        # Each entry carries its submission time (per self.clock), so a
+        # flush can account the row's full queue wait.
+        self._queue: list[tuple[Any, PendingPrediction, float]] = []
+        # Submissions since the last flush, tallied as a plain int under
+        # the already-held queue lock; ``_take_locked`` folds them into
+        # the ``serving.batcher.submitted`` counter in one ``inc``, so
+        # the hot path pays no per-row metric call.  Rows only leave the
+        # queue through ``_take_locked``, so a non-empty queue is the
+        # only state in which this is non-zero.
+        self._new_submits = 0
         self._oldest: float | None = None
         self._closed = False
         self._flusher: threading.Thread | None = None
@@ -186,6 +238,33 @@ class MicroBatcher:
                 daemon=True,
             )
             self._flusher.start()
+
+    @property
+    def stats(self) -> BatcherStats:
+        """Point-in-time snapshot of the registry-backed metrics."""
+        return BatcherStats(
+            submitted=self._submitted.value + self._new_submits,
+            flushes=self._flushes.value,
+            rows_flushed=self._rows_flushed.value,
+            flush_reasons=self._reasons(self._FLUSH_REASON_PREFIX),
+            max_batch=int(self._batch_rows.high_water),
+            failed_flushes=self._failed_flushes.value,
+            rows_failed=self._rows_failed.value,
+            failure_reasons=self._reasons(self._FAILURE_REASON_PREFIX),
+        )
+
+    def _reasons(self, prefix: str) -> dict[str, int]:
+        """Non-zero per-reason tallies registered under ``prefix``."""
+        reasons = {}
+        for name in self.metrics.names():
+            if name.startswith(prefix):
+                count = self.metrics.counter(name).value
+                if count:
+                    reasons[name[len(prefix):]] = count
+        return reasons
+
+    def _count_reason(self, prefix: str, reason: str) -> None:
+        self.metrics.counter(prefix + reason).inc()
 
     def __len__(self) -> int:
         with self._lock:
@@ -204,14 +283,15 @@ class MicroBatcher:
         submitters are never blocked behind a running batch.
         """
         pending = PendingPrediction(self)
-        batch: list[tuple[Any, PendingPrediction]] | None = None
+        batch: list[tuple[Any, PendingPrediction, float]] | None = None
+        now = self.clock()
         with self._lock:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed MicroBatcher")
-            self.stats.submitted += 1
+            self._new_submits += 1
             if self._oldest is None:
-                self._oldest = self.clock()
-            self._queue.append((payload, pending))
+                self._oldest = now
+            self._queue.append((payload, pending, now))
             if len(self._queue) >= self.max_batch_size:
                 batch = self._take_locked()
             elif self._flusher is not None and len(self._queue) == 1:
@@ -267,13 +347,10 @@ class MicroBatcher:
                 f"MicroBatcher closed with {len(batch)} unflushed rows "
                 f"(close(flush=False))"
             )
-            with self._lock:
-                self.stats.failed_flushes += 1
-                self.stats.rows_failed += len(batch)
-                self.stats.failure_reasons["RuntimeError"] = (
-                    self.stats.failure_reasons.get("RuntimeError", 0) + 1
-                )
-            for _, pending in batch:
+            self._failed_flushes.inc()
+            self._rows_failed.inc(len(batch))
+            self._count_reason(self._FAILURE_REASON_PREFIX, "RuntimeError")
+            for _, pending, _ in batch:
                 pending._fail(error)
             with self._delivered:
                 self._delivered.notify_all()
@@ -281,10 +358,17 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _take_locked(self) -> list[tuple[Any, PendingPrediction]] | None:
+    def _take_locked(self) -> list[tuple[Any, PendingPrediction, float]] | None:
         """Detach the current queue (caller holds the lock)."""
+        if self._new_submits:
+            self._submitted.inc(self._new_submits)
+            self._new_submits = 0
         if not self._queue:
             return None
+        # Occupancy sampled at the flush boundary: the gauge reads as
+        # "rows coalesced by the last flush", its high-water mark as the
+        # deepest the queue ever got before a trigger fired.
+        self._queue_depth.set(len(self._queue))
         batch, self._queue = self._queue, []
         self._oldest = None
         return batch
@@ -357,12 +441,23 @@ class MicroBatcher:
 
     def _run_batch(
         self,
-        batch: list[tuple[Any, PendingPrediction]],
+        batch: list[tuple[Any, PendingPrediction, float]],
         reason: str,
         reraise: bool,
     ) -> None:
         """Execute ``batch_fn`` outside the lock; account and deliver."""
-        payloads = [payload for payload, _ in batch]
+        flushed_at = self.clock()
+        # One float array of submission times serves both latency
+        # histograms; the subtraction is vectorized and observe_many
+        # parks the result in one append, so per-row accounting costs
+        # the batch almost nothing.
+        submitted_times = np.fromiter(
+            (submitted_at for _, _, submitted_at in batch),
+            np.float64,
+            len(batch),
+        )
+        self._queue_wait.observe_many(flushed_at - submitted_times)
+        payloads = [payload for payload, _, _ in batch]
         try:
             results = self.batch_fn(payloads)
             if len(results) != len(payloads):
@@ -371,31 +466,31 @@ class MicroBatcher:
                     f"{len(payloads)} payloads"
                 )
         except BaseException as error:
-            with self._lock:
-                self.stats.failed_flushes += 1
-                self.stats.rows_failed += len(payloads)
-                kind = type(error).__name__
-                self.stats.failure_reasons[kind] = (
-                    self.stats.failure_reasons.get(kind, 0) + 1
-                )
+            self._failed_flushes.inc()
+            self._rows_failed.inc(len(payloads))
+            self._count_reason(
+                self._FAILURE_REASON_PREFIX, type(error).__name__
+            )
             # The flush trigger's caller sees the raise (when there is
             # one); every co-batched handle records it so its result()
             # re-raises too.
-            for _, pending in batch:
+            for _, pending, _ in batch:
                 pending._fail(error)
             with self._delivered:
                 self._delivered.notify_all()
             if reraise:
                 raise
             return
-        for (_, pending), result in zip(batch, results):
+        for (_, pending, _), result in zip(batch, results):
             pending._resolve(result)
         with self._delivered:
             self._delivered.notify_all()
-        with self._lock:
-            self.stats.flushes += 1
-            self.stats.rows_flushed += len(payloads)
-            self.stats.max_batch = max(self.stats.max_batch, len(payloads))
-            self.stats.flush_reasons[reason] = (
-                self.stats.flush_reasons.get(reason, 0) + 1
-            )
+        # End-to-end latency: submit → result delivered, per payload —
+        # queue wait *and* batch execution, the number the old
+        # mean_latency_ms silently under-reported.
+        delivered_at = self.clock()
+        self._request_latency.observe_many(delivered_at - submitted_times)
+        self._flushes.inc()
+        self._rows_flushed.inc(len(payloads))
+        self._batch_rows.set(len(payloads))
+        self._count_reason(self._FLUSH_REASON_PREFIX, reason)

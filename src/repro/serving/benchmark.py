@@ -41,13 +41,21 @@ from repro.serving.server import PredictionServer
 
 @dataclass
 class ThroughputReport:
-    """Rows/second per (strategy, path), plus the headline ratio."""
+    """Rows/second per (strategy, path), plus the headline ratio.
+
+    ``latency_ms`` carries each configuration's per-stage latency
+    breakdown (``queue_wait``/``assemble``/``predict``/``request``,
+    each with mean and p50/p95/p99 in milliseconds) — the
+    :attr:`~repro.serving.server.ServerStats.latency_ms` snapshot of
+    the server that ran the measurement.
+    """
 
     dataset: str
     model_key: str
     rows: int
     batch_size: int
     rates: dict[tuple[str, str], float] = field(default_factory=dict)
+    latency_ms: dict[tuple[str, str], dict] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float | None:
@@ -67,10 +75,19 @@ class ThroughputReport:
         lines = [
             f"Serving throughput: {self.dataset}/{self.model_key}, "
             f"{self.rows} requests, micro-batch size {self.batch_size}",
-            f"{'strategy':10s} {'path':8s} {'rows/s':>12s}",
+            f"{'strategy':10s} {'path':8s} {'rows/s':>12s} "
+            f"{'p50 ms':>8s} {'p95 ms':>8s} {'p99 ms':>8s}",
         ]
         for (strategy, path), rate in sorted(self.rates.items()):
-            lines.append(f"{strategy:10s} {path:8s} {rate:12.0f}")
+            request = self.latency_ms.get((strategy, path), {}).get(
+                "request", {}
+            )
+            lines.append(
+                f"{strategy:10s} {path:8s} {rate:12.0f} "
+                f"{request.get('p50', 0.0):8.3f} "
+                f"{request.get('p95', 0.0):8.3f} "
+                f"{request.get('p99', 0.0):8.3f}"
+            )
         if self.speedup is not None:
             lines.append(
                 f"micro-batched NoJoin vs single-row JoinAll: "
@@ -156,6 +173,9 @@ def serving_throughput(
             lambda: [single.predict_one(row) for row in requests]
         )
         report.rates[(strategy.name, "single")] = rows / seconds
+        report.latency_ms[(strategy.name, "single")] = (
+            single.stats().latency_ms
+        )
 
         batched = fresh_server()
 
@@ -167,6 +187,9 @@ def serving_throughput(
 
         seconds = _measure(run_batched)
         report.rates[(strategy.name, "batched")] = rows / seconds
+        report.latency_ms[(strategy.name, "batched")] = (
+            batched.stats().latency_ms
+        )
     return report
 
 
@@ -198,6 +221,10 @@ class ConcurrencyReport:
     rates: dict[int, float] = field(default_factory=dict)
     mean_batch_rows: dict[int, float] = field(default_factory=dict)
     identical: bool = True
+    #: Per-stage latency breakdowns (ms, with p50/p95/p99): the
+    #: baseline server's and one per worker-pool configuration.
+    baseline_latency_ms: dict = field(default_factory=dict)
+    latency_ms: dict[int, dict] = field(default_factory=dict)
 
     def speedup(self, workers: int) -> float | None:
         """Concurrent-runtime throughput over the single-worker baseline."""
@@ -214,9 +241,10 @@ class ConcurrencyReport:
             f"{self.clients} client threads, micro-batch size "
             f"{self.batch_size}, {self.cpu_count} CPU(s)",
             f"{'configuration':24s} {'rows/s':>12s} {'mean batch':>11s} "
-            f"{'speedup':>8s}",
+            f"{'speedup':>8s} {'p50 ms':>8s} {'p95 ms':>8s} {'p99 ms':>8s}",
             f"{'per-request, 1 worker':24s} {self.baseline_rows_per_s:12.0f} "
-            f"{1.0:11.1f} {'1.0x':>8s}",
+            f"{1.0:11.1f} {'1.0x':>8s}"
+            + _render_request_latency(self.baseline_latency_ms),
         ]
         for workers in sorted(self.rates):
             lines.append(
@@ -224,12 +252,23 @@ class ConcurrencyReport:
                 f"{self.rates[workers]:12.0f} "
                 f"{self.mean_batch_rows.get(workers, 0.0):11.1f} "
                 f"{f'{self.speedup(workers):.1f}x':>8s}"
+                + _render_request_latency(self.latency_ms.get(workers, {}))
             )
         lines.append(
             "concurrent predictions identical to single-threaded: "
             f"{self.identical}"
         )
         return "\n".join(lines)
+
+
+def _render_request_latency(latency_ms: dict) -> str:
+    """The end-to-end stage's percentile columns for one table row."""
+    request = latency_ms.get("request", {})
+    return (
+        f" {request.get('p50', 0.0):8.3f}"
+        f" {request.get('p95', 0.0):8.3f}"
+        f" {request.get('p99', 0.0):8.3f}"
+    )
 
 
 def _drive_clients(
@@ -372,6 +411,7 @@ def concurrent_serving_throughput(
         baseline, requests, clients, batched=False, arrival_rate=arrival_rate
     )
     report.baseline_rows_per_s = rows / seconds
+    report.baseline_latency_ms = baseline.stats().latency_ms
     report.identical &= results == reference
 
     for workers in worker_counts:
@@ -384,7 +424,9 @@ def concurrent_serving_throughput(
                 batched=True,
                 arrival_rate=arrival_rate,
             )
+            stats = server.stats()
             report.rates[workers] = rows / seconds
-            report.mean_batch_rows[workers] = server.stats().mean_batch_rows
+            report.mean_batch_rows[workers] = stats.mean_batch_rows
+            report.latency_ms[workers] = stats.latency_ms
             report.identical &= results == reference
     return report

@@ -57,4 +57,9 @@ class FeatureService(ShardEncoder):
         :class:`DimensionIndexCache`.
     cache_capacity:
         Maximum dimension indexes kept resident (default 8).
+    registry:
+        Metrics registry for cache/encode telemetry; a
+        :class:`~repro.serving.server.PredictionServer` passes its own
+        so all serving metrics share one snapshot.  ``None`` keeps a
+        private registry (exact per-instance stats).
     """

@@ -30,25 +30,41 @@ single-threaded ones.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections.abc import Mapping, Sequence
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import SchemaError
+from repro.obs import MetricsRegistry
 from repro.relational.schema import StarSchema
 from repro.relational.table import Table
 from repro.serving.artifacts import ModelArtifact
 from repro.serving.batcher import MicroBatcher, PendingPrediction
 from repro.serving.feature_service import FeatureService
 
+#: The per-stage serving latency histograms a server maintains, as
+#: (stage key, metric name) pairs; :meth:`ServerStats.as_dict` and the
+#: benchmarks report all four.
+LATENCY_STAGES = (
+    ("queue_wait", "serving.latency.queue_wait_s"),
+    ("assemble", "serving.latency.assemble_s"),
+    ("predict", "serving.latency.predict_s"),
+    ("request", "serving.latency.request_s"),
+)
+
 
 @dataclass(frozen=True)
 class ServerStats:
-    """A point-in-time snapshot of a server's counters."""
+    """A point-in-time snapshot of a server's counters.
+
+    Built from the server's metrics registry; ``latency_ms`` carries
+    the per-stage breakdown (``queue_wait``/``assemble``/``predict``
+    and end-to-end ``request``), each stage a dict with ``mean``,
+    ``p50``, ``p95``, ``p99`` and ``count`` — milliseconds throughout.
+    """
 
     requests: int
     rows: int
@@ -63,14 +79,50 @@ class ServerStats:
     failed_flushes: int = 0
     rows_failed: int = 0
     workers: int = 1
+    queue_wait_seconds: float = 0.0
+    latency_ms: dict = field(default_factory=dict)
 
     @property
     def mean_latency_ms(self) -> float:
-        """Mean end-to-end model-side latency per predict call, in ms."""
+        """Mean end-to-end latency per predict call, in ms.
+
+        Includes the time micro-batched rows spent queued before their
+        flush — an earlier version summed only assemble + predict time,
+        silently under-reporting the latency a ``submit()`` caller
+        actually observed.
+        """
         if not self.predict_calls:
             return 0.0
-        total = self.assemble_seconds + self.predict_seconds
+        total = (
+            self.assemble_seconds
+            + self.predict_seconds
+            + self.queue_wait_seconds
+        )
         return 1000.0 * total / self.predict_calls
+
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot (fields plus derived means)."""
+        return {
+            "requests": self.requests,
+            "rows": self.rows,
+            "predict_calls": self.predict_calls,
+            "assemble_seconds": self.assemble_seconds,
+            "predict_seconds": self.predict_seconds,
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "mean_latency_ms": self.mean_latency_ms,
+            "batches_flushed": self.batches_flushed,
+            "mean_batch_rows": self.mean_batch_rows,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "failed_flushes": self.failed_flushes,
+            "rows_failed": self.rows_failed,
+            "workers": self.workers,
+            "latency_ms": {
+                stage: dict(values)
+                for stage, values in self.latency_ms.items()
+            },
+        }
 
     def __str__(self) -> str:
         return (
@@ -110,6 +162,13 @@ class PredictionServer:
     background_flush:
         Passed to the :class:`MicroBatcher`; set false for
         deterministic tests that control flushing explicitly.
+    telemetry:
+        When true (the default) the server keeps one metrics registry —
+        request counters, cache accounting, and the per-stage latency
+        histograms — shared by its feature service and micro-batcher.
+        ``telemetry=False`` swaps in a disabled registry: instrumented
+        code runs with no-op metrics, and :meth:`stats` reports zeros.
+        This is the off-switch the overhead benchmark measures against.
     """
 
     def __init__(
@@ -122,6 +181,7 @@ class PredictionServer:
         validate_fingerprint: bool = True,
         workers: int = 1,
         background_flush: bool = True,
+        telemetry: bool = True,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -130,8 +190,12 @@ class PredictionServer:
         self.artifact = artifact
         self.schema = schema
         self.workers = workers
+        self.metrics = MetricsRegistry(enabled=telemetry)
         self.features = FeatureService(
-            schema, artifact.strategy, cache_capacity=cache_capacity
+            schema,
+            artifact.strategy,
+            cache_capacity=cache_capacity,
+            registry=self.metrics,
         )
         if self.features.feature_names != artifact.feature_names:
             raise SchemaError(
@@ -151,37 +215,54 @@ class PredictionServer:
             max_batch_size=max_batch_size,
             max_wait_s=max_wait_s,
             background_flush=background_flush,
+            registry=self.metrics,
         )
-        self._stats_lock = threading.Lock()
-        self._requests = 0
-        self._rows = 0
-        self._predict_calls = 0
-        self._assemble_seconds = 0.0
-        self._predict_seconds = 0.0
+        self._requests = self.metrics.counter("serving.requests")
+        self._rows = self.metrics.counter("serving.rows")
+        self._assemble_seconds = self.metrics.histogram(
+            "serving.latency.assemble_s"
+        )
+        self._predict_seconds = self.metrics.histogram(
+            "serving.latency.predict_s"
+        )
+        self._request_latency = self.metrics.histogram(
+            "serving.latency.request_s"
+        )
 
     # ------------------------------------------------------------------
     # Prediction paths
     # ------------------------------------------------------------------
     def predict_one(self, row: Mapping[str, object]) -> object:
         """Predict a single request row immediately (low-latency path)."""
-        self._count_request()
-        return self._predict_encoded([self.features.encode_requests([row])])[0]
+        self._requests.inc()
+        started = time.perf_counter()
+        result = self._predict_encoded(
+            [self.features.encode_requests([row])]
+        )[0]
+        self._request_latency.observe(time.perf_counter() - started)
+        return result
 
     def predict_batch(self, rows: Sequence[Mapping[str, object]]) -> list:
         """Predict a caller-assembled batch of request rows."""
         if not rows:
             return []
-        self._count_request()
-        return self._predict_encoded([self.features.encode_requests(rows)])
+        self._requests.inc()
+        started = time.perf_counter()
+        results = self._predict_encoded([self.features.encode_requests(rows)])
+        self._request_latency.observe(time.perf_counter() - started)
+        return results
 
     def predict_table(self, fact_rows: Table) -> list:
         """Predict for pre-encoded rows shaped like the fact table."""
-        self._count_request()
+        self._requests.inc()
+        started = time.perf_counter()
         codes = {
             column: fact_rows.codes(column)
             for column in self.features.required_columns
         }
-        return self._predict_encoded([codes])
+        results = self._predict_encoded([codes])
+        self._request_latency.observe(time.perf_counter() - started)
+        return results
 
     def submit(self, row: Mapping[str, object]) -> PendingPrediction:
         """Queue one row on the micro-batcher (high-throughput path).
@@ -189,8 +270,13 @@ class PredictionServer:
         Safe to call from any number of request threads; encoding runs
         in the calling thread, the batch prediction wherever the flush
         trigger fires (submitter, deadline flusher, or worker pool).
+        The row's end-to-end submit → delivery latency (queue wait
+        included) lands in the shared ``serving.latency.request_s``
+        histogram when its batch runs.  Submissions are counted by the
+        batcher (``serving.batcher.submitted``) rather than by a second
+        counter here — :meth:`stats` folds them back into ``requests``,
+        keeping this path at zero per-row metric calls.
         """
-        self._count_request()
         return self.batcher.submit(self.features.encode_requests([row]))
 
     def flush(self) -> int:
@@ -216,10 +302,6 @@ class PredictionServer:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _count_request(self) -> None:
-        with self._stats_lock:
-            self._requests += 1
-
     def _merge(
         self, payloads: Sequence[Mapping[str, np.ndarray]]
     ) -> Mapping[str, np.ndarray]:
@@ -239,11 +321,9 @@ class PredictionServer:
         assembled = time.perf_counter()
         codes = self.artifact.predict_codes(X)
         finished = time.perf_counter()
-        with self._stats_lock:
-            self._assemble_seconds += assembled - started
-            self._predict_seconds += finished - assembled
-            self._predict_calls += 1
-            self._rows += X.n_rows
+        self._assemble_seconds.observe(assembled - started)
+        self._predict_seconds.observe(finished - assembled)
+        self._rows.inc(X.n_rows)
         return self.artifact.decode_labels(codes)
 
     def _predict_encoded(
@@ -278,25 +358,49 @@ class PredictionServer:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> ServerStats:
-        """Snapshot request counters, latency and cache accounting."""
+        """Snapshot request counters, latency and cache accounting.
+
+        One point-in-time read of the server's shared registry; the
+        ``latency_ms`` breakdown reports each serving stage's mean and
+        p50/p95/p99 in milliseconds.
+        """
         cache = self.features.cache.stats
         batcher = self.batcher.stats
-        with self._stats_lock:
-            return ServerStats(
-                requests=self._requests,
-                rows=self._rows,
-                predict_calls=self._predict_calls,
-                assemble_seconds=self._assemble_seconds,
-                predict_seconds=self._predict_seconds,
-                batches_flushed=batcher.flushes,
-                mean_batch_rows=batcher.mean_batch,
-                cache_hits=cache.hits,
-                cache_misses=cache.misses,
-                cache_hit_rate=cache.hit_rate,
-                failed_flushes=batcher.failed_flushes,
-                rows_failed=batcher.rows_failed,
-                workers=self.workers,
-            )
+        latency_ms = {}
+        for stage, metric_name in LATENCY_STAGES:
+            histogram = self.metrics.histogram(metric_name)
+            latency_ms[stage] = {
+                "count": histogram.count,
+                "mean": 1000.0 * histogram.mean,
+                "p50": 1000.0 * histogram.p50,
+                "p95": 1000.0 * histogram.p95,
+                "p99": 1000.0 * histogram.p99,
+            }
+        return ServerStats(
+            # Direct-path calls increment ``serving.requests``; the
+            # submit path is tallied by the batcher, so total requests
+            # is the sum of both.
+            requests=self._requests.value + batcher.submitted,
+            rows=self._rows.value,
+            # Every predict call observes the assemble stage exactly
+            # once, so the histogram's count *is* the call count — no
+            # separate hot-path counter needed.
+            predict_calls=self._assemble_seconds.count,
+            assemble_seconds=self._assemble_seconds.sum,
+            predict_seconds=self._predict_seconds.sum,
+            batches_flushed=batcher.flushes,
+            mean_batch_rows=batcher.mean_batch,
+            cache_hits=cache.hits,
+            cache_misses=cache.misses,
+            cache_hit_rate=cache.hit_rate,
+            failed_flushes=batcher.failed_flushes,
+            rows_failed=batcher.rows_failed,
+            workers=self.workers,
+            queue_wait_seconds=self.metrics.histogram(
+                "serving.latency.queue_wait_s"
+            ).sum,
+            latency_ms=latency_ms,
+        )
 
     def __repr__(self) -> str:
         return (

@@ -35,6 +35,8 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.core.strategies import join_all_strategy
+from repro.data.encoder import ShardEncoder
+from repro.obs import MetricsRegistry
 from repro.datasets.synthetic import (
     DIM_NAME,
     FK_NAME,
@@ -94,6 +96,14 @@ class ScalePoint:
     shard_working_set_bytes: int = 0
     #: What the same shard would cost as a dense one-hot encoding.
     shard_dense_equivalent_bytes: int = 0
+    #: Per-shard encode-latency histogram snapshot
+    #: (``data.encode.shard_s``): count/sum/mean/min/max/p50/p95/p99
+    #: seconds, as reported by :class:`repro.obs.Histogram`.
+    encode_latency_s: dict = field(default_factory=dict)
+    #: Where the streaming wall clock went: ``encode`` is the summed
+    #: per-shard assembly time, ``optimize`` the remainder (model math
+    #: plus shard iteration overhead).
+    stage_seconds: dict = field(default_factory=dict)
     inmemory_peak_bytes: int | None = None
     inmemory_seconds: float | None = None
     inmemory_estimated_bytes: int | None = None
@@ -214,7 +224,12 @@ def streaming_scale_report(
         sharded = ShardedDataset.from_population(
             population, n_rows=n, shard_rows=shard_rows, seed=seed
         )
-        stream = StreamingMatrices(sharded, strategy)
+        # A per-point registry isolates the encode-latency histogram to
+        # this row count (the committed schema reports one snapshot per
+        # sweep point, not a cumulative blur).
+        metrics = MetricsRegistry(enabled=True)
+        encoder = ShardEncoder(sharded.schema, strategy, registry=metrics)
+        stream = StreamingMatrices(sharded, strategy, encoder=encoder)
 
         def fit_streaming():
             trainer = StreamingTrainer(
@@ -224,6 +239,8 @@ def streaming_scale_report(
             return trainer
 
         trainer, stream_peak, stream_seconds = _measure(fit_streaming)
+        encode_snapshot = metrics.histogram("data.encode.shard_s").snapshot()
+        encode_total = float(encode_snapshot["sum"])
         X0, _ = stream.shard(0)
         point = ScalePoint(
             rows=n,
@@ -233,6 +250,11 @@ def streaming_scale_report(
             streaming_train_accuracy=trainer.score(stream),
             shard_working_set_bytes=X0.nbytes + X0.onehot_view().nbytes,
             shard_dense_equivalent_bytes=X0.n_rows * stream.onehot_width * 8,
+            encode_latency_s=encode_snapshot,
+            stage_seconds={
+                "encode": encode_total,
+                "optimize": max(0.0, stream_seconds - encode_total),
+            },
         )
         if max_inmemory_rows is None or n <= max_inmemory_rows:
 

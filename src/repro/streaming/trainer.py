@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.data.source import FeatureSource, source_accuracy
 from repro.ml.linear import L1LogisticRegression
+from repro.obs import trace, tracer
 from repro.rng import ensure_rng
 
 #: Training modes for L1 logistic regression.
@@ -107,23 +108,36 @@ class StreamingTrainer:
         return [np.arange(n_shards) for _ in range(n_epochs)]
 
     def fit(self, source: FeatureSource):
-        """Train the model over the source; returns the fitted model."""
+        """Train the model over the source; returns the fitted model.
+
+        The whole fit runs inside a ``fit`` span (epoch-looped paths
+        nest ``fit.epoch`` / merged ``fit.shard`` spans under it), so a
+        ``--telemetry`` run report shows where training time went.
+        """
         if source.n_rows == 0:
             raise ValueError("cannot fit on zero examples")
-        if isinstance(self.model, L1LogisticRegression):
-            if self.mode == "exact":
+        with trace(
+            "fit",
+            model=type(self.model).__name__,
+            mode=self.mode,
+            n_shards=source.n_shards,
+            n_rows=source.n_rows,
+        ):
+            if isinstance(self.model, L1LogisticRegression):
+                if self.mode == "exact":
+                    return self.model.fit_stream(source)
+                return self._fit_incremental_lr(source)
+            if hasattr(self.model, "fit_stream"):
+                # Shard-exact streaming algorithms (count/histogram
+                # models) own their pass structure; hand them the
+                # source whole.
                 return self.model.fit_stream(source)
-            return self._fit_incremental_lr(source)
-        if hasattr(self.model, "fit_stream"):
-            # Shard-exact streaming algorithms (count/histogram models)
-            # own their pass structure; hand them the source whole.
-            return self.model.fit_stream(source)
-        if not hasattr(self.model, "partial_fit"):
-            raise TypeError(
-                f"{type(self.model).__name__} does not support streaming "
-                f"training (no fit_stream or partial_fit)"
-            )
-        return self._fit_partial(source)
+            if not hasattr(self.model, "partial_fit"):
+                raise TypeError(
+                    f"{type(self.model).__name__} does not support "
+                    f"streaming training (no fit_stream or partial_fit)"
+                )
+            return self._fit_partial(source)
 
     def _fit_partial(self, source: FeatureSource):
         """Epoch loop for ``partial_fit``-style models (MLP & friends).
@@ -144,9 +158,12 @@ class StreamingTrainer:
         labels = source.labels()
         n_classes = max(int(labels.max()) + 1, 2)
         n_epochs = self._resolve_epochs()
-        for order in self._epoch_orders(source.n_shards, n_epochs):
-            for _, X, y in source.iter_shards(order):
-                self.model.partial_fit(X, y, n_classes=n_classes)
+        orders = self._epoch_orders(source.n_shards, n_epochs)
+        for epoch, order in enumerate(orders):
+            with trace("fit.epoch", epoch=epoch):
+                for _, X, y in source.iter_shards(order):
+                    with trace("fit.shard", merge=True):
+                        self.model.partial_fit(X, y, n_classes=n_classes)
         return self.model
 
     def _fit_incremental_lr(self, source: FeatureSource):
@@ -168,15 +185,30 @@ class StreamingTrainer:
         # on the first visit, reuse on every later epoch (one float per
         # shard, vs ~30 power-iteration passes per visit otherwise).
         bounds: dict[int, float] = {}
-        for order in self._epoch_orders(source.n_shards, n_epochs):
+        # Traced runs record a per-epoch loss trajectory: the penalised
+        # objective on the last shard each epoch visited — shard-local
+        # (the data is already in hand, no extra pass), but a usable
+        # convergence signal in a run report.
+        trajectory: list[float] = []
+        orders = self._epoch_orders(source.n_shards, n_epochs)
+        for epoch, order in enumerate(orders):
             restart = True
-            for index, X, y in source.iter_shards(order):
-                if index not in bounds:
-                    bounds[index] = self.model.lipschitz_bound(X)
-                self.model.partial_fit(
-                    X, y, n_iter=1, restart=restart, lipschitz=bounds[index]
-                )
-                restart = False
+            with trace("fit.epoch", epoch=epoch):
+                for index, X, y in source.iter_shards(order):
+                    if index not in bounds:
+                        bounds[index] = self.model.lipschitz_bound(X)
+                    with trace("fit.shard", merge=True):
+                        self.model.partial_fit(
+                            X, y, n_iter=1, restart=restart,
+                            lipschitz=bounds[index],
+                        )
+                    restart = False
+                if tracer().active:
+                    trajectory.append(self.model.loss(X, y))
+        if trajectory:
+            current = tracer().current()
+            if current is not None:
+                current.annotate(loss_trajectory=trajectory)
         return self.model
 
     def score(self, source: FeatureSource) -> float:

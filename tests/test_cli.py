@@ -237,3 +237,56 @@ class TestCommands:
         assert code == 0
         assert "Serving throughput" in out
         assert "micro-batched NoJoin vs single-row JoinAll" in out
+
+    def test_fit_telemetry_writes_nested_span_report(self, capsys, tmp_path):
+        """``fit --telemetry`` must cover join/encode/fit/score as spans."""
+        import json
+
+        path = tmp_path / "run_report.json"
+        code = main(
+            ["fit", "yelp", "nb", "--stream", "--shards", "2",
+             "--scale", "smoke", "--telemetry", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"telemetry report -> {path}" in out
+        report = json.loads(path.read_text())
+        assert report["version"] == 1
+
+        def walk(nodes):
+            for node in nodes:
+                yield node
+                yield from walk(node.get("children", []))
+
+        spans = list(walk(report["spans"]))
+        names = {span["name"] for span in spans}
+        assert {"join", "fit", "score", "encode.shard"} <= names
+        # Per-shard encodes fold into merged aggregates, nested under
+        # the stage that ran them, not flattened to the root.
+        fit_span = next(s for s in report["spans"] if s["name"] == "fit")
+        (encode,) = fit_span["children"]
+        assert encode["name"] == "encode.shard"
+        assert encode["count"] == 2
+        assert all(span["wall_s"] >= 0.0 for span in spans)
+        # The metrics section rides along and already saw the encodes.
+        assert report["metrics"]["data.encode.shards"] >= 2
+
+    def test_serve_bench_reports_latency_percentiles(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        path = tmp_path / "serve_report.json"
+        code = main(
+            ["serve-bench", "yelp", "--scale", "smoke", "--rows", "120",
+             "--telemetry", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # The rendered report carries the end-to-end latency
+        # percentiles per strategy/path configuration.
+        for column in ("p50 ms", "p95 ms", "p99 ms"):
+            assert column in out
+        # And the span report rode along as valid run-report JSON.
+        report = json.loads(path.read_text())
+        assert report["version"] == 1

@@ -1,0 +1,151 @@
+"""Span tracing: nesting, merging, activation scoping, report schema."""
+
+import json
+import threading
+
+import numpy as np
+
+from repro.obs import Tracer, trace, tracer
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestInactive:
+    def test_trace_is_noop_without_collect(self):
+        own = Tracer()
+        with own.span("ignored") as span:
+            span.annotate(loss=1.0)  # must not blow up on the null span
+        assert own.roots() == []
+        assert not own.active
+
+    def test_global_trace_helper_is_noop_by_default(self):
+        before = len(tracer().roots())
+        with trace("ignored"):
+            pass
+        assert len(tracer().roots()) == before
+
+
+class TestSpanTree:
+    def test_nesting_attributes_and_annotations(self):
+        own = Tracer()
+        with own.collect():
+            with own.span("fit", model="lr_l1") as fit:
+                with own.span("epoch", index=0) as epoch:
+                    epoch.annotate(loss=0.5)
+        (root,) = own.roots()
+        assert root.name == "fit"
+        assert root.attributes == {"model": "lr_l1"}
+        (child,) = root.children
+        assert child.name == "epoch"
+        assert child.annotations == {"loss": 0.5}
+        assert root.wall_s >= child.wall_s >= 0.0
+
+    def test_span_closes_on_exception(self):
+        own = Tracer()
+        try:
+            with own.collect():
+                with own.span("boom"):
+                    raise RuntimeError("inner failure")
+        except RuntimeError:
+            pass
+        (root,) = own.roots()
+        assert root.name == "boom"
+        assert own.current() is None
+
+    def test_merge_folds_same_named_siblings(self):
+        own = Tracer()
+        with own.collect():
+            with own.span("fit"):
+                for _ in range(5):
+                    with own.span("encode.shard", merge=True):
+                        pass
+        (root,) = own.roots()
+        (merged,) = root.children
+        assert merged.count == 5
+        assert merged.min_s <= merged.max_s
+        assert merged.wall_s >= merged.max_s
+
+    def test_memory_span_records_peak_bytes(self):
+        own = Tracer()
+        with own.collect():
+            with own.span("alloc", memory=True):
+                buffer = np.zeros(512 * 1024)  # ~4 MB traced
+                buffer[0] = 1.0
+        (root,) = own.roots()
+        assert root.peak_bytes is not None
+        assert root.peak_bytes >= buffer.nbytes
+
+    def test_worker_thread_spans_become_separate_roots(self):
+        own = Tracer()
+
+        def work():
+            with own.span("worker"):
+                pass
+
+        with own.collect():
+            with own.span("main"):
+                thread = threading.Thread(target=work)
+                thread.start()
+                thread.join()
+        names = sorted(span.name for span in own.roots())
+        # The worker's span must not nest under main's open span —
+        # stacks are per thread.
+        assert names == ["main", "worker"]
+
+
+class TestActivation:
+    def test_collect_fresh_drops_previous_roots(self):
+        own = Tracer()
+        with own.collect():
+            with own.span("first"):
+                pass
+        with own.collect():
+            with own.span("second"):
+                pass
+        (root,) = own.roots()
+        assert root.name == "second"
+
+    def test_nested_collect_never_clears(self):
+        own = Tracer()
+        with own.collect():
+            with own.span("outer"):
+                pass
+            with own.collect():
+                with own.span("inner"):
+                    pass
+        assert sorted(s.name for s in own.roots()) == ["inner", "outer"]
+
+    def test_reset_clears_roots(self):
+        own = Tracer()
+        with own.collect():
+            with own.span("gone"):
+                pass
+        own.reset()
+        assert own.roots() == []
+
+
+class TestReport:
+    def test_report_schema_and_round_trip(self):
+        own = Tracer()
+        metrics = MetricsRegistry()
+        metrics.counter("data.encode.rows").inc(10)
+        with own.collect():
+            with own.span("fit", model="nb") as span:
+                span.annotate(accuracy=0.9)
+        report = own.report(metrics=metrics)
+        decoded = json.loads(json.dumps(report))
+        assert decoded["version"] == 1
+        (span_node,) = decoded["spans"]
+        assert span_node["name"] == "fit"
+        assert span_node["attributes"] == {"model": "nb"}
+        assert span_node["annotations"] == {"accuracy": 0.9}
+        assert decoded["metrics"]["data.encode.rows"] == 10
+
+    def test_merged_span_serializes_aggregate_fields(self):
+        own = Tracer()
+        with own.collect():
+            for _ in range(3):
+                with own.span("pass", merge=True):
+                    pass
+        (node,) = own.report(metrics=MetricsRegistry())["spans"]
+        assert node["count"] == 3
+        assert {"min_s", "max_s", "wall_s"} <= set(node)

@@ -167,6 +167,40 @@ class TestAccounting:
         # flushed, or failed.
         assert stats.rows_flushed + stats.rows_failed == stats.submitted
 
+    def test_queue_wait_accounted_exactly_per_row(self):
+        """Regression: queued time must land in the latency accounting.
+
+        An earlier ``mean_latency_ms`` summed only assemble + predict
+        time, silently under-reporting what a ``submit()`` caller
+        actually waited.  With a fake clock the wait is exact: two rows
+        queued, the clock advanced 3 s, so both the ``queue_wait_s``
+        and end-to-end ``request_s`` histograms must read 3 s per row.
+        """
+        clock = FakeClock()
+        batcher = inline_batcher(
+            max_batch_size=100, max_wait_s=None, clock=clock
+        )
+        batcher.submit(1)
+        batcher.submit(2)
+        clock.advance(3.0)
+        batcher.flush()
+        queue_wait = batcher.metrics.histogram("serving.latency.queue_wait_s")
+        request = batcher.metrics.histogram("serving.latency.request_s")
+        assert queue_wait.count == 2
+        assert queue_wait.sum == pytest.approx(6.0)
+        assert queue_wait.min == pytest.approx(3.0)
+        assert request.count == 2
+        assert request.sum >= queue_wait.sum  # delivery can only add
+
+    def test_pending_submissions_visible_before_flush(self):
+        """stats.submitted must include rows still sitting in the queue."""
+        batcher = inline_batcher(max_batch_size=100, max_wait_s=None)
+        batcher.submit(1)
+        batcher.submit(2)
+        assert batcher.stats.submitted == 2
+        batcher.flush()
+        assert batcher.stats.submitted == 2
+
 
 class TestValidation:
     def test_bad_batch_fn_arity_detected(self):

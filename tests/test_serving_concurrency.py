@@ -232,3 +232,60 @@ class TestFailureVisibility:
     def test_workers_must_be_positive(self, artifact, dataset):
         with pytest.raises(ValueError, match="workers"):
             PredictionServer(artifact, dataset.schema, workers=0)
+
+
+class TestStatsUnderLoad:
+    def test_stats_snapshots_stay_consistent_mid_load(self, artifact, dataset):
+        """``stats()`` raced against live traffic must read sanely.
+
+        The snapshot is not required to be atomic across metrics — it is
+        required to never throw, never go backwards on monotone
+        counters, and to reconcile exactly once the load quiesces.
+        """
+        server = PredictionServer(
+            artifact, dataset.schema, max_batch_size=8, max_wait_s=None
+        )
+        rows = _label_rows(server, dataset, 4)
+        n_threads, per_thread = 4, 50
+        stop = threading.Event()
+        snapshots = []
+
+        def snapshotter():
+            last_requests = last_rows = 0
+            while not stop.is_set():
+                stats = server.stats()
+                assert stats.requests >= last_requests
+                assert stats.rows >= last_rows
+                assert stats.rows_failed == 0
+                # Derived fields must never divide by a racing zero.
+                assert stats.mean_latency_ms >= 0.0
+                assert stats.cache_hit_rate >= 0.0
+                last_requests, last_rows = stats.requests, stats.rows
+                snapshots.append(stats)
+
+        def client(index):
+            for i in range(per_thread):
+                if (index + i) % 2:
+                    server.predict_one(rows[i % len(rows)])
+                else:
+                    server.submit(rows[i % len(rows)]).result(timeout=30.0)
+
+        reader = threading.Thread(target=snapshotter, daemon=True)
+        reader.start()
+        try:
+            _run_clients(n_threads, client)
+        finally:
+            stop.set()
+            reader.join(timeout=30.0)
+        assert not reader.is_alive(), "stats reader hung"
+        assert snapshots, "reader never snapshotted"
+        server.flush()
+        final = server.stats()
+        assert final.requests == n_threads * per_thread
+        assert final.rows == n_threads * per_thread
+        assert final.predict_calls == final.batches_flushed + sum(
+            1
+            for index in range(n_threads)
+            for i in range(per_thread)
+            if (index + i) % 2
+        )

@@ -111,6 +111,7 @@ class TestCacheAccounting:
         assert stats.builds == 1
         service.assemble_table(churn_schema.fact)
         service.assemble_table(churn_schema.fact)
+        stats = service.cache.stats  # stats are point-in-time snapshots
         assert stats.misses == 1 and stats.hits == 2
         assert stats.builds == 1  # never rebuilt while resident
         assert stats.hit_rate == pytest.approx(2 / 3)

@@ -100,6 +100,51 @@ class TestAccounting:
         assert stats.workers == 1
         assert stats.failed_flushes == 0
 
+    def test_mean_latency_includes_queue_wait(self, server, dataset):
+        """Regression: queued time must be part of mean_latency_ms.
+
+        The old computation summed assemble + predict seconds only, so
+        a row that sat queued for 50 ms reported microseconds of
+        latency.  Rows are parked on the micro-batcher, the test sleeps,
+        and the flushed stats must show the wait in both the
+        ``queue_wait`` histogram and the headline mean.
+        """
+        import time as _time
+
+        rows = _label_rows(server, dataset, 2)
+        handles = [server.submit(r) for r in rows]
+        _time.sleep(0.05)
+        server.flush()
+        for handle in handles:
+            handle.result()
+        stats = server.stats()
+        assert stats.queue_wait_seconds >= 0.04
+        # mean latency = (assemble + predict + queue wait) / calls: the
+        # wait alone puts a floor under it far above pure compute time.
+        assert stats.mean_latency_ms >= (
+            1000.0 * stats.queue_wait_seconds / stats.predict_calls
+        )
+        assert stats.latency_ms["queue_wait"]["count"] == 2
+        assert stats.latency_ms["queue_wait"]["p50"] >= 40.0
+
+    def test_latency_breakdown_covers_all_stages(self, server, dataset):
+        rows = _label_rows(server, dataset, 4)
+        server.predict_batch(rows)
+        handles = [server.submit(r) for r in rows]
+        server.flush()
+        for handle in handles:
+            handle.result()
+        breakdown = server.stats().latency_ms
+        assert set(breakdown) == {
+            "queue_wait", "assemble", "predict", "request"
+        }
+        for stage, values in breakdown.items():
+            assert {"count", "mean", "p50", "p95", "p99"} <= set(values)
+            assert values["p50"] <= values["p95"] <= values["p99"]
+        # Both the batched flush and the direct call observed stages.
+        assert breakdown["assemble"]["count"] == 2
+        assert breakdown["queue_wait"]["count"] == 4
+
     def test_context_manager_closes_runtime(self, artifact, dataset):
         with PredictionServer(
             artifact, dataset.schema, workers=2, max_wait_s=0.005

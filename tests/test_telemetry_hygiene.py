@@ -1,0 +1,97 @@
+"""The telemetry hygiene lint: rules fire, allowlist holds, tree is clean.
+
+``tools/check_telemetry_hygiene.py`` enforces two library-wide rules —
+no ``time.time()`` for durations, no bare ``print()`` outside the
+console chokepoint.  This file unit-tests the checker itself on crafted
+sources, then runs it over ``src/repro`` so the tier-1 suite fails on a
+violation even before the standalone CI job does.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+from check_telemetry_hygiene import (  # noqa: E402
+    PRINT_ALLOWLIST,
+    check_file,
+    check_tree,
+    main,
+)
+
+SRC_REPRO = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _lint(tmp_path, source, relative="module.py"):
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return check_file(path, Path(relative))
+
+
+class TestRules:
+    def test_time_time_attribute_call_flagged(self, tmp_path):
+        violations = _lint(tmp_path, "import time\nstamp = time.time()\n")
+        assert len(violations) == 1
+        assert "time.time()" in violations[0]
+        assert ":2:" in violations[0]
+
+    def test_from_time_import_time_flagged_even_aliased(self, tmp_path):
+        violations = _lint(
+            tmp_path, "from time import time as now\nstamp = now()\n"
+        )
+        # The import itself and the call through the alias both fire.
+        assert len(violations) == 2
+
+    def test_monotonic_clocks_allowed(self, tmp_path):
+        source = (
+            "import time\n"
+            "a = time.perf_counter()\n"
+            "b = time.monotonic()\n"
+        )
+        assert _lint(tmp_path, source) == []
+
+    def test_bare_print_flagged(self, tmp_path):
+        violations = _lint(tmp_path, "print('debug')\n")
+        assert len(violations) == 1
+        assert "bare print()" in violations[0]
+
+    def test_print_with_explicit_stream_allowed(self, tmp_path):
+        source = "import sys\nprint('x', file=sys.stderr)\n"
+        assert _lint(tmp_path, source) == []
+
+    def test_console_chokepoint_allowlisted(self, tmp_path):
+        relative = next(iter(PRINT_ALLOWLIST))
+        assert _lint(tmp_path, "print('ok')\n", str(relative)) == []
+
+    def test_method_named_time_not_flagged(self, tmp_path):
+        # Only the ``time`` module's attribute counts, not any
+        # ``.time()`` method on another object.
+        assert _lint(tmp_path, "elapsed = clock.time()\n") == []
+
+
+class TestTree:
+    def test_check_tree_aggregates_files(self, tmp_path):
+        (tmp_path / "ok.py").write_text("value = 1\n")
+        (tmp_path / "bad.py").write_text("print('oops')\n")
+        violations = check_tree(tmp_path)
+        assert len(violations) == 1
+        assert "bad.py" in violations[0]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        (tmp_path / "clean.py").write_text("value = 1\n")
+        assert main([str(tmp_path)]) == 0
+        (tmp_path / "dirty.py").write_text("import time\nt = time.time()\n")
+        assert main([str(tmp_path)]) == 1
+        assert main([str(tmp_path / "missing")]) == 2
+        capsys.readouterr()
+
+
+class TestLibraryIsClean:
+    def test_src_repro_has_no_violations(self):
+        assert SRC_REPRO.is_dir(), SRC_REPRO
+        violations = check_tree(SRC_REPRO)
+        assert violations == [], "\n".join(violations)

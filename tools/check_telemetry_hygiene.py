@@ -1,0 +1,116 @@
+"""Telemetry hygiene lint for ``src/repro``.
+
+Two rules, both enforced over the AST (comments and strings can mention
+whatever they like):
+
+- **No ``time.time()``.**  Wall-clock timestamps drift and step;
+  duration measurements in the library must use the monotonic clocks
+  (``time.perf_counter`` / ``time.monotonic``), and anything worth
+  timing should flow through a :mod:`repro.obs` histogram or span.
+  Both the ``time.time(...)`` attribute-call form and
+  ``from time import time`` are flagged.
+- **No bare ``print()``.**  User-facing output goes through
+  :func:`repro.obs.console.emit`, which routes to an explicit stream —
+  a ``print`` call without a ``file=`` argument is a stray debug line.
+  ``repro/obs/console.py`` itself is the one place allowed to call
+  ``print`` (it is the chokepoint the rule funnels everything into).
+
+Run from the repo root::
+
+    python tools/check_telemetry_hygiene.py [src/repro]
+
+Exits 0 on a clean tree, 1 with one ``path:line: message`` per
+violation otherwise.  ``tests/test_telemetry_hygiene.py`` runs this on
+every tier-1 pass, and CI runs it as a standalone step.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Files (relative to the scanned root) exempt from the bare-print rule.
+PRINT_ALLOWLIST = {Path("obs/console.py")}
+
+
+def _is_time_time_call(node: ast.Call, time_aliases: set[str]) -> bool:
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "time"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "time"
+    ):
+        return True
+    return isinstance(func, ast.Name) and func.id in time_aliases
+
+
+def check_file(path: Path, relative: Path) -> list[str]:
+    """Lint one source file; returns ``path:line: message`` strings."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    violations: list[str] = []
+    # Names that ``from time import time [as alias]`` bound in this
+    # module — calls through them are wall-clock reads too.
+    time_aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    time_aliases.add(alias.asname or alias.name)
+                    violations.append(
+                        f"{path}:{node.lineno}: 'from time import time' —"
+                        " use time.perf_counter/time.monotonic for"
+                        " durations"
+                    )
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _is_time_time_call(node, time_aliases):
+            violations.append(
+                f"{path}:{node.lineno}: time.time() — use"
+                " time.perf_counter/time.monotonic for durations"
+            )
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "print"
+            and relative not in PRINT_ALLOWLIST
+            and not any(kw.arg == "file" for kw in node.keywords)
+        ):
+            violations.append(
+                f"{path}:{node.lineno}: bare print() — route output"
+                " through repro.obs.console.emit"
+            )
+    return violations
+
+
+def check_tree(root: Path) -> list[str]:
+    """Lint every ``.py`` file under ``root``."""
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        violations.extend(check_file(path, path.relative_to(root)))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path("src/repro")
+    if not root.is_dir():
+        print(f"no such directory: {root}", file=sys.stderr)
+        return 2
+    violations = check_tree(root)
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(
+            f"{len(violations)} telemetry hygiene violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"telemetry hygiene: {root} clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
