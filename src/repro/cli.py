@@ -53,6 +53,7 @@ from repro.experiments import (
     run_experiment,
     sweep,
 )
+from repro.resilience.chaos import CHAOS_TRAINABLE
 
 _STRATEGIES = {
     "JoinAll": join_all_strategy,
@@ -140,6 +141,31 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "cache encoded shards on disk between passes (optional "
             "directory; default: a private temporary one)"
+        ),
+    )
+    p_fit.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write atomic training checkpoints here (requires --stream; "
+            "logistic training switches to mode='incremental', the "
+            "checkpointable path)"
+        ),
+    )
+    p_fit.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard steps between checkpoints (with --checkpoint-dir)",
+    )
+    p_fit.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "restore the latest checkpoint in --checkpoint-dir before "
+            "training (an empty directory simply starts fresh)"
         ),
     )
     p_fit.add_argument("--scale", choices=["smoke", "default", "paper"])
@@ -241,10 +267,71 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_bench.add_argument(
+        "--inject-faults",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help=(
+            "serve under chaos instead of benchmarking: poison RATE of "
+            "request rows, bound the admission queue and quarantine the "
+            "poison, then verify every surviving answer against a clean "
+            "server (exit 2 on any divergence)"
+        ),
+    )
+    p_bench.add_argument(
         "--telemetry",
         default=None,
         metavar="OUT.json",
         help="write a span-tree run report of the benchmark here",
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="chaos soak: train and serve under injected faults, verified",
+    )
+    p_chaos.add_argument("dataset", choices=DATASET_ORDER)
+    p_chaos.add_argument(
+        "--train-model",
+        choices=sorted(CHAOS_TRAINABLE),
+        default="ann",
+        help="checkpointable streaming model for the training leg",
+    )
+    p_chaos.add_argument(
+        "--serve-model", choices=sorted(MODEL_REGISTRY), default="dt_gini"
+    )
+    p_chaos.add_argument("--shards", type=int, default=6)
+    p_chaos.add_argument("--epochs", type=int, default=2)
+    p_chaos.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.25,
+        help="fraction of shards given a transient first-attempt fault",
+    )
+    p_chaos.add_argument(
+        "--kill-after",
+        type=int,
+        default=None,
+        metavar="SHARDS",
+        help=(
+            "kill training after this many shard steps and resume from "
+            "the checkpoint (default: mid-run)"
+        ),
+    )
+    p_chaos.add_argument("--rows", type=int, default=160)
+    p_chaos.add_argument(
+        "--poison-rate",
+        type=float,
+        default=0.08,
+        help="fraction of request rows the serving model poisons",
+    )
+    p_chaos.add_argument("--max-queue-rows", type=int, default=16)
+    p_chaos.add_argument("--scale", choices=["smoke", "default", "paper"])
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="OUT.json",
+        help="write a span-tree run report of the soak here",
     )
     return parser
 
@@ -305,6 +392,7 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         ("--shards", args.shards),
         ("--prefetch", args.prefetch),
         ("--spill-cache", args.spill_cache),
+        ("--checkpoint-dir", args.checkpoint_dir),
     )
     if not args.stream and any(v is not None for _, v in streaming_flags):
         names = "/".join(name for name, _ in streaming_flags)
@@ -314,6 +402,20 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         if value is not None and value < 1:
             emit(f"error: {name} must be >= 1, got {value}", error=True)
             return 2
+    if args.resume and args.checkpoint_dir is None:
+        emit(
+            "error: --resume restores from --checkpoint-dir; pass the "
+            "directory the interrupted run checkpointed into",
+            error=True,
+        )
+        return 2
+    if args.checkpoint_every < 1:
+        emit(
+            f"error: --checkpoint-every must be >= 1, got "
+            f"{args.checkpoint_every}",
+            error=True,
+        )
+        return 2
     if args.stream:
         n_shards = args.shards
         if args.shard_rows is None and n_shards is None:
@@ -335,9 +437,18 @@ def _cmd_fit(args: argparse.Namespace) -> int:
             args.dataset, n_fact=scale.n_fact, seed=args.seed
         )
         strategy = _STRATEGIES[args.strategy]()
+        # Checkpointing needs a loop the trainer can cut at a shard
+        # boundary: incremental mode for the logistic model, the
+        # default epoch loop for partial_fit models.
+        mode = (
+            "incremental"
+            if args.checkpoint_dir is not None and args.model == "lr_l1"
+            else "exact"
+        )
         result = run_experiment(
             dataset, args.model, strategy, scale=scale, source=spec,
-            seed=args.seed,
+            seed=args.seed, mode=mode, checkpoint=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every, resume=args.resume,
         )
         if args.stream:
             shards = result.best_params
@@ -482,12 +593,49 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             error=True,
         )
         return 2
+    if args.inject_faults is not None:
+        if not 0 < args.inject_faults <= 1:
+            emit(
+                f"error: --inject-faults takes a poison rate in (0, 1], "
+                f"got {args.inject_faults}",
+                error=True,
+            )
+            return 2
+        if args.clients > 0:
+            emit(
+                "error: --inject-faults verifies answers row by row; the "
+                "concurrent benchmark (--clients) measures throughput — "
+                "run them separately",
+                error=True,
+            )
+            return 2
 
     def run() -> int:
         scale = get_scale(args.scale)
         dataset = generate_real_world(
             args.dataset, n_fact=scale.n_fact, seed=args.seed
         )
+        if args.inject_faults is not None:
+            from repro.resilience.chaos import chaos_serving_run
+
+            verdict = chaos_serving_run(
+                dataset,
+                args.model,
+                rows=args.rows,
+                poison_rate=args.inject_faults,
+                seed=args.seed,
+                scale=scale,
+            )
+            emit(
+                f"fault-injected serving: {args.dataset}/{args.model}, "
+                f"{verdict['rows']} requests at poison rate "
+                f"{verdict['poison_rate']}: shed {verdict['shed']}, "
+                f"quarantined {verdict['poisoned_rows']} poisoned row(s), "
+                f"{verdict['deadline_expired']}/{verdict['deadline_rows']} "
+                f"deadline(s) expired, {verdict['mismatched']} mismatched "
+                f"answer(s) -> {'ok' if verdict['ok'] else 'FAILED'}"
+            )
+            return 0 if verdict["ok"] else 2
         if args.clients > 0:
             report = concurrent_serving_throughput(
                 dataset,
@@ -519,6 +667,39 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience.chaos import chaos_soak
+
+    def run() -> int:
+        scale = get_scale(args.scale)
+        dataset = generate_real_world(
+            args.dataset, n_fact=scale.n_fact, seed=args.seed
+        )
+        report = chaos_soak(
+            dataset,
+            train_model=args.train_model,
+            serve_model=args.serve_model,
+            n_shards=args.shards,
+            epochs=args.epochs,
+            fault_rate=args.fault_rate,
+            kill_after=args.kill_after,
+            rows=args.rows,
+            poison_rate=args.poison_rate,
+            max_queue_rows=args.max_queue_rows,
+            seed=args.seed,
+            scale=scale,
+        )
+        emit(report.render())
+        return 0 if report.ok else 2
+
+    if args.telemetry is None:
+        return run()
+    with obs.tracer().collect():
+        code = run()
+    _write_telemetry(args.telemetry)
+    return code
+
+
 _COMMANDS = {
     "advise": _cmd_advise,
     "stats": _cmd_stats,
@@ -529,6 +710,7 @@ _COMMANDS = {
     "save-model": _cmd_save_model,
     "predict": _cmd_predict,
     "serve-bench": _cmd_serve_bench,
+    "chaos": _cmd_chaos,
 }
 
 

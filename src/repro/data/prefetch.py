@@ -58,6 +58,14 @@ class PrefetchingSource(SourceDecorator):
         queue occupancy (gauge with high-water mark), producer stall
         seconds (time the worker spent blocked on a full queue) and the
         consumer-wait latency histogram.  ``None`` keeps a private one.
+    retry_policy:
+        Optional :class:`~repro.resilience.RetryPolicy` (or anything
+        with its ``call`` shape) applied per shard inside the worker: a
+        transient producer failure backs off and retries on the worker
+        thread instead of tearing down the pass.  Non-retryable errors
+        (and exhausted retries) still propagate to the consumer with
+        the original traceback.  Duck-typed to keep ``repro.data``
+        import-independent of ``repro.resilience``.
     """
 
     def __init__(
@@ -65,11 +73,13 @@ class PrefetchingSource(SourceDecorator):
         source: FeatureSource,
         depth: int = 2,
         registry: MetricsRegistry | None = None,
+        retry_policy=None,
     ):
         if depth < 1:
             raise ValueError(f"prefetch depth must be >= 1, got {depth}")
         super().__init__(source)
         self.depth = depth
+        self.retry_policy = retry_policy
         self.metrics = registry if registry is not None else MetricsRegistry()
         self._queue_depth = self.metrics.gauge("data.prefetch.queue_depth")
         self._shards = self.metrics.counter("data.prefetch.shards")
@@ -80,6 +90,26 @@ class PrefetchingSource(SourceDecorator):
             "data.prefetch.consumer_wait_s"
         )
 
+    def _produce_shards(
+        self, order: Sequence[int] | np.ndarray | None
+    ) -> Iterator[tuple[int, "CategoricalMatrix", np.ndarray]]:  # noqa: F821
+        """The worker's view of the pass: per-shard, retried reads."""
+        if self.retry_policy is None:
+            yield from self.source.iter_shards(order)
+            return
+        # Per-shard random access instead of the wrapped generator, so
+        # one failed read retries alone — the shards already handed off
+        # are not re-produced and ordering is preserved.
+        indices = range(self.source.n_shards) if order is None else order
+        for index in indices:
+            index = int(index)
+            X, y = self.retry_policy.call(
+                lambda i=index: self.source.shard(i),
+                registry=self.metrics,
+                describe=f"prefetch read of shard {index}",
+            )
+            yield index, X, y
+
     def iter_shards(
         self, order: Sequence[int] | np.ndarray | None = None
     ) -> Iterator[tuple[int, "CategoricalMatrix", np.ndarray]]:  # noqa: F821
@@ -88,7 +118,7 @@ class PrefetchingSource(SourceDecorator):
 
         def produce() -> None:
             try:
-                for item in self.source.iter_shards(order):
+                for item in self._produce_shards(order):
                     enqueue_started = time.perf_counter()
                     if not _put(handoff, (_SHARD, item), cancelled):
                         return

@@ -15,12 +15,23 @@ The decorator contract holds: cached shards are byte-identical to what
 the wrapped source produces (``tests/test_data_spill.py`` asserts it),
 so training results cannot depend on whether a shard came from the
 cache or the source.
+
+Cache entries are crash-safe and self-verifying: each ``.npz`` is
+written to a temp file and ``os.replace``-d into place (a mid-write
+kill leaves no torn entry), and carries a CRC-32 of its arrays.  A
+corrupt entry — torn write survived from an older format, bit rot, an
+injected ``corrupt_spill`` fault — fails verification on load and is
+transparently dropped and re-encoded from the wrapped source instead
+of crashing the pass.
 """
 
 from __future__ import annotations
 
+import os
 import shutil
 import tempfile
+import zipfile
+import zlib
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -28,7 +39,16 @@ from pathlib import Path
 import numpy as np
 
 from repro.data.source import FeatureSource, SourceDecorator
+from repro.errors import SpillCorruptionError
 from repro.obs import MetricsRegistry
+
+
+def _checksum(codes: np.ndarray, y: np.ndarray) -> int:
+    """CRC-32 over a shard's exact array bytes (shape/dtype included)."""
+    crc = zlib.crc32(str((codes.shape, str(codes.dtype))).encode())
+    crc = zlib.crc32(np.ascontiguousarray(codes).tobytes(), crc)
+    crc = zlib.crc32(str((y.shape, str(y.dtype))).encode(), crc)
+    return zlib.crc32(np.ascontiguousarray(y).tobytes(), crc)
 
 
 @dataclass
@@ -44,6 +64,7 @@ class SpillStats:
     misses: int = 0
     evictions: int = 0
     spilled_bytes: int = 0
+    corruptions: int = 0
 
     def as_dict(self) -> dict:
         """JSON-serializable snapshot."""
@@ -80,6 +101,12 @@ class SpillCacheSource(SourceDecorator):
     registry:
         Metrics registry backing the ``data.spill.*`` metrics.
         ``None`` keeps a private one (exact per-instance stats).
+    retry_policy:
+        Optional :class:`~repro.resilience.RetryPolicy` (or anything
+        with its ``call`` shape) applied to the wrapped source's
+        ``shard`` reads, so a transient producer failure costs a
+        bounded backoff instead of the pass.  Duck-typed to keep
+        ``repro.data`` import-independent of ``repro.resilience``.
     """
 
     def __init__(
@@ -88,6 +115,7 @@ class SpillCacheSource(SourceDecorator):
         directory: str | Path | None = None,
         max_bytes: int | None = None,
         registry: MetricsRegistry | None = None,
+        retry_policy=None,
     ):
         super().__init__(source)
         if max_bytes is not None and max_bytes < 1:
@@ -104,6 +132,8 @@ class SpillCacheSource(SourceDecorator):
         self._misses = self.metrics.counter("data.spill.misses")
         self._evictions = self.metrics.counter("data.spill.evictions")
         self._spilled_bytes = self.metrics.gauge("data.spill.bytes")
+        self._corruptions = self.metrics.counter("data.spill.corruptions")
+        self.retry_policy = retry_policy
         self._entries: OrderedDict[int, int] = OrderedDict()  # index -> bytes
         self._closed = False
 
@@ -115,6 +145,7 @@ class SpillCacheSource(SourceDecorator):
             misses=self._misses.value,
             evictions=self._evictions.value,
             spilled_bytes=int(self._spilled_bytes.value),
+            corruptions=self._corruptions.value,
         )
 
     # ------------------------------------------------------------------
@@ -135,21 +166,60 @@ class SpillCacheSource(SourceDecorator):
             return self.source.shard(index)
         if index in self._entries:
             self._entries.move_to_end(index)
-            self._hits.inc()
-            return self._load(index)
+            try:
+                loaded = self._load(index)
+            except SpillCorruptionError:
+                # The entry is damaged (torn write survived a crash,
+                # bit rot, injected corruption).  Drop it and fall
+                # through to the miss path: the wrapped source is the
+                # durable truth, so re-encoding restores the exact
+                # bytes the cache should have held.
+                self._corruptions.inc()
+                self._drop(index)
+            else:
+                self._hits.inc()
+                return loaded
         self._misses.inc()
-        X, y = self.source.shard(index)
+        X, y = self._produce(index)
         self._store(index, X, y)
         return X, y
+
+    def _produce(self, index: int):
+        """Read a shard from the wrapped source, retried when configured."""
+        if self.retry_policy is None:
+            return self.source.shard(index)
+        return self.retry_policy.call(
+            lambda: self.source.shard(index),
+            registry=self.metrics,
+            describe=f"spill-cache source read of shard {index}",
+        )
+
+    def _drop(self, index: int) -> None:
+        """Remove one entry (and its file) from the cache."""
+        size = self._entries.pop(index, 0)
+        self._path(index).unlink(missing_ok=True)
+        self._spilled_bytes.add(-size)
 
     def _load(self, index: int):
         # Local import: keeps repro.data.source importable from within
         # repro.ml's own module initialisation (see repro.data.__init__).
         from repro.ml.encoding import CategoricalMatrix
 
-        with np.load(self._path(index)) as archive:
-            codes = archive["codes"]
-            y = archive["y"]
+        path = self._path(index)
+        try:
+            with np.load(path) as archive:
+                codes = archive["codes"]
+                y = archive["y"]
+                stored = int(archive["crc"][()]) if "crc" in archive else None
+        except (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile) as error:
+            raise SpillCorruptionError(
+                f"{path}: spill entry unreadable ({error})"
+            ) from error
+        if stored is None or _checksum(codes, y) != stored:
+            raise SpillCorruptionError(
+                f"{path}: spill entry failed checksum verification"
+            )
         # Codes round-trip exactly and were validated when the source
         # produced them, so skip the range re-scan.
         X = CategoricalMatrix(
@@ -159,8 +229,28 @@ class SpillCacheSource(SourceDecorator):
 
     def _store(self, index: int, X, y) -> None:
         path = self._path(index)
-        with path.open("wb") as handle:
-            np.savez(handle, codes=X.codes, y=np.asarray(y))
+        y = np.asarray(y)
+        # Temp file in the cache directory + os.replace: a kill at any
+        # instant leaves either no entry or a complete one, never a
+        # torn .npz that np.load chokes on next pass.
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(
+                    handle,
+                    codes=X.codes,
+                    y=y,
+                    crc=np.uint32(_checksum(X.codes, y)),
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         size = path.stat().st_size
         self._entries[index] = size
         self._spilled_bytes.add(size)

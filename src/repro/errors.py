@@ -59,5 +59,78 @@ class ModelSelectionError(ReproError):
     """
 
 
+class CSVIntegrityError(SchemaError):
+    """A CSV file was truncated or mutated while being streamed.
+
+    Raised by :func:`repro.relational.io.iter_csv_chunks` and the
+    CSV-backed shard loaders when a file yields fewer rows than it held
+    when it was scanned, or a row with the wrong field count — the
+    signatures of a truncated or concurrently rewritten file.  Carries
+    the offending row number (1-based data row) and the byte offset of
+    the failure so an operator can inspect the file directly.
+    """
+
+    def __init__(self, path, message, row: int | None = None,
+                 byte_offset: int | None = None):
+        self.path = path
+        self.row = row
+        self.byte_offset = byte_offset
+        where = ""
+        if row is not None:
+            where += f" at data row {row}"
+        if byte_offset is not None:
+            where += f" (byte offset {byte_offset})"
+        super().__init__(f"{path}: {message}{where}")
+
+
+class TransientShardError(ReproError, OSError):
+    """A shard failed to produce for a (possibly) transient reason.
+
+    Derives from :class:`OSError` so the default retryable-exception
+    allowlist of :class:`repro.resilience.RetryPolicy` covers both real
+    I/O failures and the deterministic faults
+    :class:`repro.resilience.FaultInjectingSource` injects in tests and
+    chaos benchmarks.
+    """
+
+
+class SpillCorruptionError(ReproError):
+    """A spill-cache entry failed its checksum or could not be decoded.
+
+    :class:`repro.data.SpillCacheSource` handles this internally — a
+    corrupt entry triggers a transparent re-encode from the wrapped
+    source — so callers only ever see it if re-production fails too.
+    """
+
+
+class CheckpointError(ReproError):
+    """A training checkpoint could not be written, read, or applied.
+
+    Raised for incompatible resume attempts (different model class,
+    shard count, or epoch schedule than the checkpointed run) and for
+    checkpoint directories containing no usable checkpoint when one was
+    required.
+    """
+
+
+class ServerOverloadedError(ReproError):
+    """The serving admission queue is full; the request was shed.
+
+    Load shedding is the backpressure primitive of the serving plane:
+    rejecting at admission keeps queue wait bounded for accepted
+    requests (an HTTP frontend maps this to a 429).  The request was
+    never enqueued — retrying after a backoff is safe.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """A queued request's deadline expired before its batch ran.
+
+    The row was dropped at flush time without being predicted; the
+    caller's ``result()`` raises this instead of returning a stale
+    answer that arrived too late to be useful.
+    """
+
+
 class ConvergenceWarning(UserWarning):
     """An iterative solver stopped at its iteration limit."""

@@ -382,6 +382,10 @@ def _run_source_experiment(
     spec: SourceSpec,
     scale: Scale | None,
     seed: int,
+    mode: str = "exact",
+    checkpoint=None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
 ) -> RunResult:
     """One single-configuration cell over :class:`SourceSpec`-built sources."""
     from repro.streaming import StreamingTrainer
@@ -397,7 +401,14 @@ def _run_source_experiment(
             dataset, strategy, registry=global_registry()
         )
     try:
-        trainer = StreamingTrainer(model, seed=seed)
+        trainer = StreamingTrainer(
+            model,
+            seed=seed,
+            mode=mode,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
         trainer.fit(sources["train"])
 
         def scored(split: str) -> float:
@@ -434,6 +445,10 @@ def run_experiment(
     matrices: StrategyMatrices | None = None,
     source: SourceSpec | None = None,
     seed: int = 0,
+    mode: str = "exact",
+    checkpoint=None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
 ) -> RunResult:
     """Run one experiment cell end to end.
 
@@ -457,6 +472,13 @@ def run_experiment(
     The tuned path pins its tuners to the paper's fixed
     ``random_state=0`` grids and ignores ``seed``; vary the dataset
     generation seed to resample a tuned cell.
+
+    ``mode``, ``checkpoint``, ``checkpoint_every`` and ``resume`` are
+    forwarded to the source path's
+    :class:`~repro.streaming.StreamingTrainer` (checkpoint/resume
+    semantics are documented there); the tuned path rejects them via
+    the trainer's own validation when combined incorrectly and ignores
+    them otherwise.
     """
     if source is not None:
         if matrices is not None:
@@ -465,7 +487,9 @@ def run_experiment(
                 "its own per-split sources — pass one or the other"
             )
         return _run_source_experiment(
-            dataset, model_key, strategy, source, scale, seed
+            dataset, model_key, strategy, source, scale, seed,
+            mode=mode, checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every, resume=resume,
         )
     started = time.perf_counter()
     pipeline = fit_pipeline(

@@ -29,13 +29,36 @@ import csv
 from collections.abc import Iterator
 from pathlib import Path
 
-from repro.errors import SchemaError
+from repro.errors import CSVIntegrityError, SchemaError
 from repro.relational.column import CategoricalColumn, Domain
 from repro.relational.schema import KFKConstraint, StarSchema
 from repro.relational.table import Table
 
 #: Default number of data rows per chunk for the streaming reader.
 DEFAULT_CHUNK_ROWS = 8192
+
+
+def _record_offset(path: Path, record_number: int) -> int | None:
+    """Byte offset where 1-based CSV record ``record_number`` starts.
+
+    Computed lazily, on error paths only: a binary re-scan counting
+    newlines costs one extra pass over the prefix, which is nothing
+    next to keeping per-line ``tell()`` bookkeeping on the hot parse
+    path.  Returns the end-of-file offset when the file is now shorter
+    than the requested record (the truncation case), ``None`` if the
+    file cannot be re-read at all.  Records quoting embedded newlines
+    make this an approximation (it counts physical lines).
+    """
+    offset = 0
+    try:
+        with path.open("rb") as handle:
+            for current, line in enumerate(handle, start=1):
+                if current == record_number:
+                    return offset
+                offset += len(line)
+    except OSError:
+        return None
+    return offset
 
 
 def csv_header(path: str | Path) -> list[str]:
@@ -83,9 +106,15 @@ def iter_csv_chunks(
         yielded = False
         for line_number, row in enumerate(reader, start=2):
             if len(row) != len(header):
-                raise SchemaError(
-                    f"{path}:{line_number}: expected {len(header)} fields, "
-                    f"got {len(row)}"
+                # The signature of a truncated or concurrently
+                # rewritten file; a typed error with the location, so
+                # operators can inspect the bytes directly.
+                raise CSVIntegrityError(
+                    path,
+                    f"expected {len(header)} fields, got {len(row)} "
+                    f"(truncated or mutated mid-stream?)",
+                    row=line_number - 1,
+                    byte_offset=_record_offset(path, line_number),
                 )
             for name, value in zip(header, row):
                 chunk[name].append(value)

@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pickle
+import tempfile
 import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -265,9 +267,30 @@ def save_artifact(artifact: ModelArtifact, path: str | Path) -> Path:
         },
         protocol=pickle.HIGHEST_PROTOCOL,
     )
-    with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as archive:
-        archive.writestr(_MANIFEST_NAME, json.dumps(manifest, indent=2, sort_keys=True))
-        archive.writestr(_PAYLOAD_NAME, payload)
+    # Write the zip to a temp file beside the target and os.replace it
+    # into place: a kill mid-save leaves either the previous artifact or
+    # the complete new one, never a truncated archive that
+    # load_artifact rejects as BadZipFile.
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            with zipfile.ZipFile(
+                handle, "w", compression=zipfile.ZIP_DEFLATED
+            ) as archive:
+                archive.writestr(
+                    _MANIFEST_NAME,
+                    json.dumps(manifest, indent=2, sort_keys=True),
+                )
+                archive.writestr(_PAYLOAD_NAME, payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return path
 
 

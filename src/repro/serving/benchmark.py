@@ -35,6 +35,7 @@ from repro.core.strategies import (
     no_join_strategy,
 )
 from repro.datasets.splits import SplitDataset
+from repro.resilience import backoff
 from repro.serving.artifacts import artifact_from_pipeline
 from repro.serving.server import PredictionServer
 
@@ -312,8 +313,7 @@ def _drive_clients(
                 for k, i in enumerate(indexes):
                     if interval is not None:
                         delay = started + k * interval - time.monotonic()
-                        if delay > 0:
-                            time.sleep(delay)
+                        backoff.sleep(delay)
                     handles.append((i, server.submit(requests[i])))
                 for i, handle in handles:
                     results[i] = handle.result(timeout=result_timeout)
@@ -321,8 +321,7 @@ def _drive_clients(
                 for k, i in enumerate(indexes):
                     if interval is not None:
                         delay = started + k * interval - time.monotonic()
-                        if delay > 0:
-                            time.sleep(delay)
+                        backoff.sleep(delay)
                     results[i] = server.predict_one(requests[i])
         except BaseException as error:  # surfaced to the caller below
             errors.append(error)

@@ -81,6 +81,9 @@ class ServerStats:
     workers: int = 1
     queue_wait_seconds: float = 0.0
     latency_ms: dict = field(default_factory=dict)
+    shed_requests: int = 0
+    deadline_expired: int = 0
+    rows_quarantined: int = 0
 
     @property
     def mean_latency_ms(self) -> float:
@@ -117,6 +120,9 @@ class ServerStats:
             "cache_hit_rate": self.cache_hit_rate,
             "failed_flushes": self.failed_flushes,
             "rows_failed": self.rows_failed,
+            "shed_requests": self.shed_requests,
+            "deadline_expired": self.deadline_expired,
+            "rows_quarantined": self.rows_quarantined,
             "workers": self.workers,
             "latency_ms": {
                 stage: dict(values)
@@ -169,6 +175,21 @@ class PredictionServer:
         ``telemetry=False`` swaps in a disabled registry: instrumented
         code runs with no-op metrics, and :meth:`stats` reports zeros.
         This is the off-switch the overhead benchmark measures against.
+    max_queue_rows:
+        Admission bound on the ``submit`` path: with this many rows
+        already queued, further submissions are shed with
+        :class:`~repro.errors.ServerOverloadedError` (counted as
+        ``serving.shed_requests``) instead of growing the queue without
+        bound.  ``None`` (the default) admits everything.
+    quarantine:
+        Enable poisoned-row quarantine on the micro-batcher: a predict
+        exception fails only the offending rows (isolated by
+        micro-batch bisection), not every co-batched request, and the
+        server survives.
+    default_deadline_s:
+        Default per-request deadline applied by :meth:`submit` when the
+        caller passes none; ``None`` (the default) leaves requests
+        without a deadline.
     """
 
     def __init__(
@@ -182,6 +203,9 @@ class PredictionServer:
         workers: int = 1,
         background_flush: bool = True,
         telemetry: bool = True,
+        max_queue_rows: int | None = None,
+        quarantine: bool = False,
+        default_deadline_s: float | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -210,12 +234,15 @@ class PredictionServer:
             if workers > 1
             else None
         )
+        self.default_deadline_s = default_deadline_s
         self.batcher = MicroBatcher(
             self._predict_encoded,
             max_batch_size=max_batch_size,
             max_wait_s=max_wait_s,
             background_flush=background_flush,
             registry=self.metrics,
+            max_queue_rows=max_queue_rows,
+            quarantine=quarantine,
         )
         self._requests = self.metrics.counter("serving.requests")
         self._rows = self.metrics.counter("serving.rows")
@@ -264,7 +291,11 @@ class PredictionServer:
         self._request_latency.observe(time.perf_counter() - started)
         return results
 
-    def submit(self, row: Mapping[str, object]) -> PendingPrediction:
+    def submit(
+        self,
+        row: Mapping[str, object],
+        deadline_s: float | None = None,
+    ) -> PendingPrediction:
         """Queue one row on the micro-batcher (high-throughput path).
 
         Safe to call from any number of request threads; encoding runs
@@ -276,8 +307,20 @@ class PredictionServer:
         batcher (``serving.batcher.submitted``) rather than by a second
         counter here — :meth:`stats` folds them back into ``requests``,
         keeping this path at zero per-row metric calls.
+
+        ``deadline_s`` (defaulting to the server's
+        ``default_deadline_s``) bounds how stale the row may go: if its
+        batch runs after the deadline the handle fails with
+        :class:`~repro.errors.DeadlineExceededError`.  When the
+        admission queue is full (``max_queue_rows``) the request is
+        shed with :class:`~repro.errors.ServerOverloadedError` before
+        encoding results are queued.
         """
-        return self.batcher.submit(self.features.encode_requests([row]))
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        return self.batcher.submit(
+            self.features.encode_requests([row]), deadline_s=deadline_s
+        )
 
     def flush(self) -> int:
         """Force the micro-batcher to drain; returns rows flushed."""
@@ -395,6 +438,9 @@ class PredictionServer:
             cache_hit_rate=cache.hit_rate,
             failed_flushes=batcher.failed_flushes,
             rows_failed=batcher.rows_failed,
+            shed_requests=batcher.shed_requests,
+            deadline_expired=batcher.deadline_expired,
+            rows_quarantined=batcher.rows_quarantined,
             workers=self.workers,
             queue_wait_seconds=self.metrics.histogram(
                 "serving.latency.queue_wait_s"

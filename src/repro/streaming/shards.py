@@ -38,9 +38,14 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import SchemaError
+from repro.errors import CSVIntegrityError, SchemaError
 from repro.relational.column import CategoricalColumn, Domain
-from repro.relational.io import csv_header, iter_csv_chunks, table_from_csv
+from repro.relational.io import (
+    _record_offset,
+    csv_header,
+    iter_csv_chunks,
+    table_from_csv,
+)
 from repro.relational.schema import KFKConstraint, StarSchema
 from repro.relational.table import Table
 from repro.rng import ensure_rng
@@ -147,9 +152,11 @@ def _scan_csv_fact(
         offsets.append(handle.tell())
         for record, row in enumerate(reader, start=1):
             if len(row) != len(header):
-                raise SchemaError(
-                    f"{path}: record {record}: expected {len(header)} "
-                    f"fields, got {len(row)}"
+                raise CSVIntegrityError(
+                    path,
+                    f"expected {len(header)} fields, got {len(row)}",
+                    row=record,
+                    byte_offset=_record_offset(path, record + 1),
                 )
             for name, value in zip(header, row):
                 label_order[name].setdefault(value, None)
@@ -458,14 +465,26 @@ class ShardedDataset:
                     try:
                         row = next(reader)
                     except StopIteration:
-                        raise SchemaError(
-                            f"{fact_path}: shard {index} ran out of rows "
-                            f"(file changed during streaming?)"
+                        # The file now ends before this shard's rows:
+                        # truncated (or rewritten shorter) after the
+                        # planning pass.  EOF is where the missing row
+                        # would have started.
+                        raise CSVIntegrityError(
+                            fact_path,
+                            f"shard {index} ran out of rows (file "
+                            f"truncated or changed during streaming?)",
+                            row=start + position + 1,
+                            byte_offset=fact_path.stat().st_size,
                         ) from None
                     if len(row) != len(columns):
-                        raise SchemaError(
-                            f"{fact_path}: record {start + position + 1}: "
-                            f"expected {len(columns)} fields, got {len(row)}"
+                        raise CSVIntegrityError(
+                            fact_path,
+                            f"shard {index}: expected {len(columns)} "
+                            f"fields, got {len(row)}",
+                            row=start + position + 1,
+                            byte_offset=_record_offset(
+                                fact_path, start + position + 2
+                            ),
                         )
                     for name, value in zip(columns, row):
                         chunk[name].append(value)

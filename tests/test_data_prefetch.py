@@ -150,6 +150,107 @@ class TestDeterminism:
             PrefetchingSource(MatrixSource(*train_matrix), depth=0)
 
 
+class _FlakySource(MatrixSource):
+    """Raises ``error`` the first ``failures`` reads of each listed shard."""
+
+    def __init__(self, X, y, shard_rows, flaky, failures=1, error=OSError):
+        super().__init__(X, y, shard_rows=shard_rows)
+        self.flaky = set(flaky)
+        self.failures = failures
+        self.error = error
+        self.attempts = {}
+
+    def shard(self, index):
+        self.attempts[index] = self.attempts.get(index, 0) + 1
+        if index in self.flaky and self.attempts[index] <= self.failures:
+            self._flake(index)
+        return super().shard(index)
+
+    def _flake(self, index):  # a distinctive frame for traceback tests
+        raise self.error(f"flaky read of shard {index}")
+
+
+class TestRetryInWorker:
+    """The retry policy runs *inside* the producer thread."""
+
+    def _policy(self, **kwargs):
+        from repro.resilience import RetryPolicy
+
+        kwargs.setdefault("max_attempts", 3)
+        kwargs.setdefault("base_delay_s", 0.0)
+        return RetryPolicy(**kwargs)
+
+    def test_transient_worker_fault_recovers_bit_identically(
+        self, train_matrix
+    ):
+        flaky = _FlakySource(*train_matrix, shard_rows=11, flaky=[1, 4])
+        source = PrefetchingSource(flaky, retry_policy=self._policy())
+        clean = list(MatrixSource(*train_matrix, shard_rows=11).iter_shards())
+        fetched = list(source.iter_shards())
+        assert [i for i, _, _ in fetched] == [i for i, _, _ in clean]
+        for (_, Xa, ya), (_, Xb, yb) in zip(clean, fetched):
+            np.testing.assert_array_equal(Xa.codes, Xb.codes)
+            np.testing.assert_array_equal(ya, yb)
+        # Each flaky shard took exactly one extra read, on the worker.
+        assert flaky.attempts[1] == flaky.attempts[4] == 2
+        assert source.metrics.get("resilience.retries").value == 2
+        assert not _prefetch_threads()
+
+    def test_exhausted_retries_kill_worker_cleanly_mid_epoch(
+        self, train_matrix
+    ):
+        flaky = _FlakySource(
+            *train_matrix, shard_rows=11, flaky=[2], failures=99
+        )
+        source = PrefetchingSource(
+            flaky, retry_policy=self._policy(max_attempts=3)
+        )
+        consumed = []
+        with pytest.raises(OSError, match="flaky read of shard 2") as info:
+            for index, _, _ in source.iter_shards():
+                consumed.append(index)
+        # Shards before the dead one arrived; the worker died mid-epoch
+        # after its attempt budget, and the pass still joined it.
+        assert consumed == [0, 1]
+        assert flaky.attempts[2] == 3
+        notes = "\n".join(getattr(info.value, "__notes__", []))
+        assert "prefetch read of shard 2" in notes
+        assert not _prefetch_threads()
+
+    def test_non_retryable_error_propagates_without_retry(self, train_matrix):
+        flaky = _FlakySource(
+            *train_matrix, shard_rows=11, flaky=[3], error=RuntimeError
+        )
+        source = PrefetchingSource(flaky, retry_policy=self._policy())
+        with pytest.raises(RuntimeError, match="flaky read of shard 3") as info:
+            list(source.iter_shards())
+        assert flaky.attempts[3] == 1  # no second read for a real bug
+        # The worker's original failure site survives the thread hop.
+        frames = [f.name for f in traceback.extract_tb(info.value.__traceback__)]
+        assert "_flake" in frames
+        assert not _prefetch_threads()
+
+    def test_retrying_pass_honours_explicit_order(self, train_matrix):
+        # The retry path reads per-index rather than via the wrapped
+        # generator; a reordered pass must survive that switch.
+        flaky = _FlakySource(*train_matrix, shard_rows=9, flaky=[0])
+        source = PrefetchingSource(flaky, retry_policy=self._policy())
+        order = np.arange(source.n_shards)[::-1]
+        assert [i for i, _, _ in source.iter_shards(order)] == list(order)
+        assert not _prefetch_threads()
+
+    def test_early_exit_joins_retrying_worker(self, train_matrix):
+        source = PrefetchingSource(
+            MatrixSource(*train_matrix, shard_rows=5),
+            depth=1,
+            retry_policy=self._policy(),
+        )
+        iterator = source.iter_shards()
+        next(iterator)
+        iterator.close()
+        assert not _prefetch_threads()
+
+
 class TestTrainingThroughPrefetch:
     def test_exact_lr_fit_is_bit_identical(self, train_matrix):
         from repro.ml.linear import L1LogisticRegression

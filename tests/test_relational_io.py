@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ReferentialIntegrityError, SchemaError
+from repro.errors import CSVIntegrityError, ReferentialIntegrityError, SchemaError
 from repro.relational import audit_star_schema, join_all
 from repro.relational.io import (
     csv_header,
@@ -58,11 +58,28 @@ class TestReadCsv:
         with pytest.raises(SchemaError, match="expected 2 fields"):
             read_csv_columns(bad)
 
-    def test_ragged_row_names_line_number(self, tmp_path):
+    def test_ragged_row_names_location(self, tmp_path):
         bad = tmp_path / "bad.csv"
         bad.write_text("a,b\n1,2\n3,4\n5\n")
-        with pytest.raises(SchemaError, match=r"bad\.csv:4"):
+        with pytest.raises(SchemaError, match=r"bad\.csv: .*data row 3"):
             read_csv_columns(bad)
+
+    def test_chunked_reader_raises_typed_integrity_error(self, tmp_path):
+        """``iter_csv_chunks`` on a mutated file: a named error type
+        with the data row and byte offset, not a bare ValueError."""
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n3,4\n5\n6,7\n")
+        chunks = iter_csv_chunks(bad, chunk_rows=2)
+        assert next(chunks) == {"a": ["1", "3"], "b": ["2", "4"]}
+        with pytest.raises(CSVIntegrityError, match="truncated or mutated") as info:
+            next(chunks)
+        error = info.value
+        assert isinstance(error, SchemaError)  # callers catching the base still work
+        assert error.path == bad
+        assert error.row == 3
+        assert error.byte_offset == len("a,b\n1,2\n3,4\n")
+        assert "data row 3" in str(error)
+        assert f"byte offset {error.byte_offset}" in str(error)
 
 
 class TestLazyReads:

@@ -1,0 +1,263 @@
+"""Checkpoints: atomic on disk, and resume bit-identical in the trainer."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import no_join_strategy
+from repro.data import MatrixSource
+from repro.datasets import generate_real_world
+from repro.errors import CheckpointError
+from repro.ml import CategoricalNB, L1LogisticRegression, MLPClassifier
+from repro.obs import MetricsRegistry
+from repro.resilience import CheckpointManager
+from repro.resilience.chaos import (
+    ChaosKilledError,
+    KillSwitchSource,
+    models_identical,
+)
+from repro.streaming import StreamingTrainer
+
+
+@pytest.fixture(scope="module")
+def train_matrix():
+    dataset = generate_real_world("yelp", n_fact=200, seed=0)
+    matrices = no_join_strategy().matrices(dataset)
+    return matrices.X_train, matrices.y_train
+
+
+class TestCheckpointManager:
+    def test_save_load_round_trip(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        state = {"weights": np.arange(5.0), "cursor": (1, 2)}
+        manager.save(1, 2, state)
+        loaded = manager.load(1, 2)
+        assert np.array_equal(loaded["weights"], state["weights"])
+        assert loaded["cursor"] == (1, 2)
+
+    def test_latest_prefers_newest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=5)
+        manager.save(0, 3, "old")
+        manager.save(0, 5, "mid")
+        manager.save(1, 0, "new")
+        epoch, shard, state = manager.latest()
+        assert (epoch, shard, state) == (1, 0, "new")
+
+    def test_latest_skips_corrupt_newest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=5)
+        manager.save(0, 1, "good")
+        newest = manager.save(0, 2, "torn")
+        blob = bytearray(newest.read_bytes())
+        blob[-1] ^= 0xFF  # flip a payload byte: checksum must catch it
+        newest.write_bytes(bytes(blob))
+        epoch, shard, state = manager.latest()
+        assert (epoch, shard, state) == (0, 1, "good")
+
+    def test_latest_skips_truncated_and_foreign_files(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=5)
+        manager.save(2, 0, "good")
+        manager.save(2, 1, "torn").write_bytes(b"RCK")  # truncated magic
+        (tmp_path / "notes.txt").write_text("not a checkpoint")
+        assert manager.latest()[2] == "good"
+
+    def test_empty_directory_resumes_none(self, tmp_path):
+        assert CheckpointManager(tmp_path / "never-created").latest() is None
+
+    def test_prune_keeps_most_recent(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for shard in range(5):
+            manager.save(0, shard, shard)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["ckpt-000000-000003.pkl", "ckpt-000000-000004.pkl"]
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(0, 0, list(range(1000)))
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_unpicklable_state_leaves_no_artifacts(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        with pytest.raises(Exception):
+            manager.save(0, 0, lambda: None)  # lambdas don't pickle
+        assert not list(tmp_path.iterdir())
+
+    def test_cursor_range_checked(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        with pytest.raises(CheckpointError, match="out of range"):
+            manager.save(-1, 0, "x")
+        with pytest.raises(CheckpointError, match="out of range"):
+            manager.save(0, 10**6, "x")
+
+    def test_load_missing_cursor_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no such checkpoint"):
+            CheckpointManager(tmp_path).load(0, 0)
+
+    def test_keep_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, keep=0)
+
+    def test_metrics_account_saves_and_resumes(self, tmp_path):
+        registry = MetricsRegistry()
+        manager = CheckpointManager(tmp_path, registry=registry)
+        manager.save(0, 1, "s")
+        manager.latest()
+        assert registry.get("resilience.checkpoints").value == 1
+        assert registry.get("resilience.resumes").value == 1
+        assert registry.get("resilience.checkpoint_bytes").count == 1
+
+
+def _mlp(seed=0):
+    return MLPClassifier(hidden_sizes=(8,), epochs=2, random_state=seed)
+
+
+def _lr():
+    return L1LogisticRegression(lam=1e-3, max_iter=100, tol=1e-5)
+
+
+class TestKillResumeBitIdentity:
+    """The acceptance property: kill after shard k, resume, same bits."""
+
+    @pytest.mark.parametrize("kill_after", [1, 3, 5])
+    def test_mlp_resume_matches_uninterrupted(
+        self, train_matrix, tmp_path, kill_after
+    ):
+        source = MatrixSource(*train_matrix, shard_rows=29)
+        baseline = _mlp()
+        StreamingTrainer(baseline, epochs=2, seed=0).fit(source)
+
+        manager = CheckpointManager(tmp_path)
+        victim = _mlp()
+        with pytest.raises(ChaosKilledError):
+            StreamingTrainer(
+                victim, epochs=2, seed=0, checkpoint=manager, resume=True
+            ).fit(KillSwitchSource(source, kill_after))
+        resumed = _mlp()
+        StreamingTrainer(
+            resumed, epochs=2, seed=0, checkpoint=manager, resume=True
+        ).fit(source)
+        assert models_identical(baseline, resumed)
+        np.testing.assert_array_equal(
+            baseline.predict(train_matrix[0]), resumed.predict(train_matrix[0])
+        )
+
+    @pytest.mark.parametrize("kill_after", [2, 4])
+    def test_incremental_lr_resume_matches_uninterrupted(
+        self, train_matrix, tmp_path, kill_after
+    ):
+        source = MatrixSource(*train_matrix, shard_rows=29)
+        baseline = _lr()
+        StreamingTrainer(
+            baseline, epochs=2, seed=0, mode="incremental"
+        ).fit(source)
+
+        manager = CheckpointManager(tmp_path)
+        victim = _lr()
+        with pytest.raises(ChaosKilledError):
+            StreamingTrainer(
+                victim, epochs=2, seed=0, mode="incremental",
+                checkpoint=manager, resume=True,
+            ).fit(KillSwitchSource(source, kill_after))
+        resumed = _lr()
+        StreamingTrainer(
+            resumed, epochs=2, seed=0, mode="incremental",
+            checkpoint=manager, resume=True,
+        ).fit(source)
+        assert models_identical(baseline, resumed)
+        np.testing.assert_array_equal(baseline.coef_, resumed.coef_)
+
+    def test_sparse_checkpoint_cadence_still_bit_identical(
+        self, train_matrix, tmp_path
+    ):
+        source = MatrixSource(*train_matrix, shard_rows=29)
+        baseline = _mlp()
+        StreamingTrainer(baseline, epochs=2, seed=0).fit(source)
+        victim = _mlp()
+        with pytest.raises(ChaosKilledError):
+            StreamingTrainer(
+                victim, epochs=2, seed=0, checkpoint=str(tmp_path),
+                checkpoint_every=3, resume=True,
+            ).fit(KillSwitchSource(source, 4))
+        resumed = _mlp()
+        StreamingTrainer(
+            resumed, epochs=2, seed=0, checkpoint=str(tmp_path),
+            checkpoint_every=3, resume=True,
+        ).fit(source)
+        assert models_identical(baseline, resumed)
+
+    def test_resume_with_empty_directory_is_a_fresh_run(
+        self, train_matrix, tmp_path
+    ):
+        source = MatrixSource(*train_matrix, shard_rows=29)
+        baseline = _mlp()
+        StreamingTrainer(baseline, epochs=2, seed=0).fit(source)
+        resumed = _mlp()
+        StreamingTrainer(
+            resumed, epochs=2, seed=0, checkpoint=tmp_path, resume=True
+        ).fit(source)
+        assert models_identical(baseline, resumed)
+
+    def test_completed_run_resumes_to_identical_model_without_steps(
+        self, train_matrix, tmp_path
+    ):
+        source = MatrixSource(*train_matrix, shard_rows=29)
+        finished = _mlp()
+        StreamingTrainer(
+            finished, epochs=2, seed=0, checkpoint=tmp_path, resume=True
+        ).fit(source)
+        again = _mlp()
+        StreamingTrainer(
+            again, epochs=2, seed=0, checkpoint=tmp_path, resume=True
+        ).fit(source)
+        assert models_identical(finished, again)
+
+
+class TestTrainerGuards:
+    def test_fingerprint_mismatch_raises(self, train_matrix, tmp_path):
+        source = MatrixSource(*train_matrix, shard_rows=29)
+        StreamingTrainer(
+            _mlp(), epochs=2, seed=0, checkpoint=tmp_path
+        ).fit(source)
+        with pytest.raises(CheckpointError, match="different run"):
+            StreamingTrainer(
+                _mlp(), epochs=3, seed=0, checkpoint=tmp_path, resume=True
+            ).fit(source)
+
+    def test_exact_lr_mode_refuses_checkpoint(self, train_matrix, tmp_path):
+        source = MatrixSource(*train_matrix, shard_rows=29)
+        with pytest.raises(CheckpointError, match="incremental"):
+            StreamingTrainer(
+                _lr(), mode="exact", checkpoint=tmp_path
+            ).fit(source)
+
+    def test_fit_stream_models_refuse_checkpoint(
+        self, train_matrix, tmp_path
+    ):
+        source = MatrixSource(*train_matrix, shard_rows=29)
+        with pytest.raises(CheckpointError, match="fit_stream"):
+            StreamingTrainer(
+                CategoricalNB(alpha=1.0), checkpoint=tmp_path
+            ).fit(source)
+
+    def test_resume_requires_manager(self):
+        with pytest.raises(ValueError, match="resume"):
+            StreamingTrainer(_mlp(), resume=True)
+
+    def test_checkpoint_every_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            StreamingTrainer(_mlp(), checkpoint=tmp_path, checkpoint_every=0)
+
+    def test_checkpoint_state_is_a_loadable_model(
+        self, train_matrix, tmp_path
+    ):
+        """The on-disk payload carries the whole model, pickled."""
+        source = MatrixSource(*train_matrix, shard_rows=29)
+        manager = CheckpointManager(tmp_path)
+        StreamingTrainer(
+            _mlp(), epochs=1, seed=0, checkpoint=manager
+        ).fit(source)
+        _, _, state = manager.latest()
+        assert isinstance(state["model"], MLPClassifier)
+        assert isinstance(
+            pickle.loads(pickle.dumps(state["model"])), MLPClassifier
+        )

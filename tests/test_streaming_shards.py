@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import join_all_strategy, no_join_strategy
 from repro.datasets import OneXrScenario, generate_real_world
-from repro.errors import ReferentialIntegrityError, SchemaError
+from repro.errors import CSVIntegrityError, ReferentialIntegrityError, SchemaError
 from repro.ml.neural import MLPClassifier
 from repro.relational import (
     CategoricalColumn,
@@ -349,6 +349,53 @@ class TestCsvSource:
         fact.write_text("".join(lines[:41]))
         with pytest.raises(SchemaError):
             sharded.shard(4)
+
+    def test_truncation_between_passes_raises_named_error(self, star_csvs):
+        """The satellite regression: a file truncated *after* a clean
+        pass must fail the next pass with :class:`CSVIntegrityError`
+        carrying the missing row's number and the EOF byte offset —
+        not a bare ``StopIteration`` escaping the reader."""
+        fact, dim = star_csvs
+        sharded = ShardedDataset.from_csv(
+            fact,
+            target="churn",
+            dimensions=[(dim, "employer", "employer")],
+            shard_rows=17,
+        )
+        # First pass over the intact file is clean.
+        assert sum(s.fact.n_rows for s in sharded.iter_shards()) == 90
+        lines = fact.read_text().splitlines(keepends=True)
+        fact.write_text("".join(lines[:41]))  # 40 data rows remain
+        with pytest.raises(CSVIntegrityError, match="truncated") as info:
+            sharded.shard(2)  # rows 34..51: runs off the new EOF
+        error = info.value
+        assert error.path == fact
+        assert error.row == 41  # the first missing data row
+        assert error.byte_offset == fact.stat().st_size
+        assert "data row 41" in str(error)
+
+    def test_mutated_row_between_passes_names_location(self, star_csvs):
+        fact, dim = star_csvs
+        sharded = ShardedDataset.from_csv(
+            fact,
+            target="churn",
+            dimensions=[(dim, "employer", "employer")],
+            shard_rows=17,
+        )
+        list(sharded.iter_shards())
+        lines = fact.read_text().splitlines(keepends=True)
+        lines[10] = "c0,g1\n"  # data row 10 loses a field
+        fact.write_text("".join(lines))
+        with pytest.raises(
+            CSVIntegrityError, match="expected 3 fields, got 2"
+        ) as info:
+            sharded.shard(0)
+        error = info.value
+        assert error.row == 10
+        assert error.byte_offset == len("".join(lines[:10]).encode())
+        # The sequential scan path reports the same typed error.
+        with pytest.raises(CSVIntegrityError):
+            list(sharded.iter_shards())
 
     def test_quoted_newlines_survive_seek_based_access(self, tmp_path):
         dim = tmp_path / "dim.csv"

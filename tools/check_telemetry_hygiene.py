@@ -1,7 +1,7 @@
 """Telemetry hygiene lint for ``src/repro``.
 
-Two rules, both enforced over the AST (comments and strings can mention
-whatever they like):
+Three rules, all enforced over the AST (comments and strings can
+mention whatever they like):
 
 - **No ``time.time()``.**  Wall-clock timestamps drift and step;
   duration measurements in the library must use the monotonic clocks
@@ -14,6 +14,11 @@ whatever they like):
   a ``print`` call without a ``file=`` argument is a stray debug line.
   ``repro/obs/console.py`` itself is the one place allowed to call
   ``print`` (it is the chokepoint the rule funnels everything into).
+- **No ``time.sleep()``.**  Library code that sleeps is either a
+  backoff (which must go through :func:`repro.resilience.backoff.sleep`
+  so delays stay policy-driven, observable and fault-injectable) or a
+  latent hang.  ``repro/resilience/backoff.py`` is the one sanctioned
+  chokepoint; ``from time import sleep`` is flagged everywhere.
 
 Run from the repo root::
 
@@ -33,26 +38,33 @@ from pathlib import Path
 #: Files (relative to the scanned root) exempt from the bare-print rule.
 PRINT_ALLOWLIST = {Path("obs/console.py")}
 
+#: Files (relative to the scanned root) allowed to call time.sleep —
+#: the backoff chokepoint everything else must route through.
+SLEEP_ALLOWLIST = {Path("resilience/backoff.py")}
 
-def _is_time_time_call(node: ast.Call, time_aliases: set[str]) -> bool:
+
+def _is_module_attr_call(node: ast.Call, attr: str, aliases: set[str]) -> bool:
+    """Whether ``node`` is ``time.<attr>(...)`` or an aliased bare call."""
     func = node.func
     if (
         isinstance(func, ast.Attribute)
-        and func.attr == "time"
+        and func.attr == attr
         and isinstance(func.value, ast.Name)
         and func.value.id == "time"
     ):
         return True
-    return isinstance(func, ast.Name) and func.id in time_aliases
+    return isinstance(func, ast.Name) and func.id in aliases
 
 
 def check_file(path: Path, relative: Path) -> list[str]:
     """Lint one source file; returns ``path:line: message`` strings."""
     tree = ast.parse(path.read_text(), filename=str(path))
     violations: list[str] = []
-    # Names that ``from time import time [as alias]`` bound in this
-    # module — calls through them are wall-clock reads too.
+    sleep_exempt = relative in SLEEP_ALLOWLIST
+    # Names that ``from time import time/sleep [as alias]`` bound in
+    # this module — calls through them hit the same APIs.
     time_aliases: set[str] = set()
+    sleep_aliases: set[str] = set()
     for node in ast.walk(tree):
         if isinstance(node, ast.ImportFrom) and node.module == "time":
             for alias in node.names:
@@ -63,13 +75,27 @@ def check_file(path: Path, relative: Path) -> list[str]:
                         " use time.perf_counter/time.monotonic for"
                         " durations"
                     )
+                if alias.name == "sleep" and not sleep_exempt:
+                    sleep_aliases.add(alias.asname or alias.name)
+                    violations.append(
+                        f"{path}:{node.lineno}: 'from time import sleep' —"
+                        " route delays through repro.resilience.backoff"
+                        ".sleep"
+                    )
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
-        if _is_time_time_call(node, time_aliases):
+        if _is_module_attr_call(node, "time", time_aliases):
             violations.append(
                 f"{path}:{node.lineno}: time.time() — use"
                 " time.perf_counter/time.monotonic for durations"
+            )
+        if not sleep_exempt and _is_module_attr_call(
+            node, "sleep", sleep_aliases
+        ):
+            violations.append(
+                f"{path}:{node.lineno}: time.sleep() — route delays"
+                " through repro.resilience.backoff.sleep"
             )
         func = node.func
         if (
