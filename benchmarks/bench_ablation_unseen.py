@@ -19,6 +19,7 @@ from repro.datasets import OneXrScenario
 from repro.errors import UnseenCategoryError
 from repro.ml import DecisionTreeClassifier
 from repro.ml.metrics import accuracy
+from repro.rng import ensure_rng
 
 from conftest import run_once
 
@@ -30,7 +31,7 @@ def test_ablation_unseen_policies(benchmark, scale):
 
     def build():
         population = scenario.population(seed=0)
-        rng = np.random.default_rng(1)
+        rng = ensure_rng(1)
         allowed = np.arange(30)  # 40% of the domain unseen in training
         train = population.draw(rng, scenario.n_train, fk_subset=allowed)
         validation = population.draw(rng, 100, fk_subset=allowed)
@@ -97,7 +98,7 @@ def test_smoother_fit_budget():
     """
     import time
 
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     n_levels, d_r = 150_000, 3
     xr = rng.integers(0, 5, size=(n_levels, d_r))
     train = rng.choice(n_levels, size=2_000, replace=False)

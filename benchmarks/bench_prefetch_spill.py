@@ -41,6 +41,7 @@ import numpy as np
 from repro.core.strategies import join_all_strategy
 from repro.data import PrefetchingSource, SpillCacheSource
 from repro.ml.linear import L1LogisticRegression
+from repro.rng import ensure_rng
 from repro.streaming import ShardedDataset, StreamingMatrices
 
 
@@ -48,7 +49,7 @@ def write_star_csvs(
     directory: Path, rows: int, n_fk: int, seed: int
 ) -> tuple[Path, Path]:
     """A synthetic fact CSV (target, two home features, FK) + dimension."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     dim_path = directory / "vendors.csv"
     dim_path.write_text(
         "vendor,region,tier\n"

@@ -37,13 +37,14 @@ import numpy as np
 
 from repro.ml.encoding import CategoricalMatrix
 from repro.ml.linear import L1LogisticRegression
+from repro.rng import ensure_rng
 
 EQUIVALENCE_ATOL = 1e-10
 
 
 def make_dataset(n_rows: int, fk_domain: int, seed: int = 0):
     """A fact-table-shaped matrix: one wide FK plus two small features."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     fk = rng.integers(0, fk_domain, size=n_rows)
     home = rng.integers(0, 4, size=(n_rows, 2))
     codes = np.column_stack([fk, home])

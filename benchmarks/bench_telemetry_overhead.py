@@ -56,6 +56,7 @@ import time
 import numpy as np
 
 from repro.core.strategies import no_join_strategy
+from repro.rng import ensure_rng
 from repro.datasets import generate_real_world
 from repro.experiments import get_scale
 from repro.experiments.runner import fit_pipeline
@@ -93,7 +94,7 @@ def measure_op_costs(batch_size: int, number: int) -> dict[str, float]:
     gauge = registry.gauge("bench.gauge")
     histogram = registry.histogram("bench.histogram")
     many = registry.histogram("bench.histogram_many")
-    waits = np.random.default_rng(0).uniform(1e-5, 1e-3, batch_size)
+    waits = ensure_rng(0).uniform(1e-5, 1e-3, batch_size)
     costs = {
         "counter_inc": _time_op(counter.inc, number),
         "gauge_set": _time_op(lambda: gauge.set(17.0), number),

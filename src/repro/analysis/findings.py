@@ -1,0 +1,44 @@
+"""The :class:`Finding` record every analysis rule reports.
+
+A finding is data, not an exception: the engine collects findings from
+all rules over all files, filters them through allowlists and inline
+suppressions, and only then does the CLI decide an exit code.  Keeping
+the record tiny and ordered makes reports deterministic — findings sort
+by (path, line, rule, message), so two runs over the same tree always
+print in the same order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is the file as given to the engine (posix separators, so
+    reports are stable across platforms); ``line`` is 1-based; ``rule``
+    is the reporting rule's id (``wall-clock``, ``lock-discipline``,
+    ...); ``message`` says what is wrong and what to do instead.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """Render as ``path:line: [rule] message`` (one report line)."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for ``--format json`` reports."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }

@@ -333,6 +333,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OUT.json",
         help="write a span-tree run report of the soak here",
     )
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static-analysis suite over the codebase (repro.analysis)",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
     return parser
 
 
@@ -700,6 +708,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static-analysis suite (``repro lint``)."""
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 _COMMANDS = {
     "advise": _cmd_advise,
     "stats": _cmd_stats,
@@ -711,6 +726,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "serve-bench": _cmd_serve_bench,
     "chaos": _cmd_chaos,
+    "lint": _cmd_lint,
 }
 
 

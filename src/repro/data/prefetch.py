@@ -131,7 +131,11 @@ class PrefetchingSource(SourceDecorator):
                     self._shards.inc()
                     self._queue_depth.set(handoff.qsize())
                 _put(handoff, (_DONE, None), cancelled)
-            except BaseException as error:  # propagated, not swallowed
+            # The handoff queue IS the error route: the consumer
+            # re-raises this exception from iter_shards, so the
+            # worker must park it rather than raise into a dead
+            # thread.  # repro: lint-ignore[exception-hygiene]
+            except BaseException as error:
                 _put(handoff, (_ERROR, error), cancelled)
 
         worker = threading.Thread(

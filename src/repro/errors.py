@@ -132,5 +132,15 @@ class DeadlineExceededError(ReproError):
     """
 
 
+class StaticAnalysisError(ReproError):
+    """A :mod:`repro.analysis` run could not be configured or executed.
+
+    Raised for usage errors — unknown rule ids passed to ``--rule``,
+    lint targets that do not exist — as opposed to *findings*, which are
+    reported data, not exceptions.  ``repro lint`` maps this to exit
+    code 2 (findings exit 1, a clean tree exits 0).
+    """
+
+
 class ConvergenceWarning(UserWarning):
     """An iterative solver stopped at its iteration limit."""

@@ -43,6 +43,7 @@ from repro.errors import UnseenCategoryError
 from repro.ml.base import Estimator, check_fitted, check_X_y
 from repro.ml.encoding import CategoricalMatrix
 from repro.ml.tree.criteria import entropy, impurity_function, split_information
+from repro.rng import ensure_rng
 
 _UNSEEN_POLICIES = ("error", "majority", "random")
 
@@ -478,7 +479,7 @@ class DecisionTreeClassifier(Estimator):
         self._enforce_unseen_policy(X)
         out = np.zeros((X.n_rows, self.n_classes_), dtype=np.float64)
         rng = (
-            np.random.default_rng(self.random_state)
+            ensure_rng(self.random_state)
             if self.unseen == "random"
             else None
         )

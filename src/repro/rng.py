@@ -11,22 +11,31 @@ from __future__ import annotations
 import numpy as np
 
 
-def ensure_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+def ensure_rng(
+    seed: int | np.random.Generator | np.random.SeedSequence | None = None,
+) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
     Parameters
     ----------
     seed:
         ``None`` for nondeterministic entropy, an ``int`` for a fresh
-        seeded generator, or an existing generator (returned unchanged,
-        so generator state is shared with the caller).
+        seeded generator, a :class:`numpy.random.SeedSequence` (as
+        produced by spawning — each call builds a fresh, unconsumed
+        generator from it), or an existing generator (returned
+        unchanged, so generator state is shared with the caller).
     """
     if isinstance(seed, np.random.Generator):
         return seed
-    if seed is None or isinstance(seed, (int, np.integer)):
+    if (
+        seed is None
+        or isinstance(seed, (int, np.integer))
+        or isinstance(seed, np.random.SeedSequence)
+    ):
         return np.random.default_rng(seed)
     raise TypeError(
-        f"seed must be None, an int, or a numpy Generator; got {type(seed).__name__}"
+        "seed must be None, an int, a SeedSequence, or a numpy Generator;"
+        f" got {type(seed).__name__}"
     )
 
 

@@ -592,6 +592,9 @@ class MicroBatcher:
                     f"{len(payloads)} payloads"
                 )
             return list(results), {}
+        # Quarantine-by-bisection: the error is returned as data so
+        # the poisoned row's future receives it while its batchmates
+        # still get answers.  # repro: lint-ignore[exception-hygiene]
         except BaseException as error:
             if len(payloads) == 1:
                 return [None], {0: error}

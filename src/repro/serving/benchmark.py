@@ -323,7 +323,10 @@ def _drive_clients(
                         delay = started + k * interval - time.monotonic()
                         backoff.sleep(delay)
                     results[i] = server.predict_one(requests[i])
-        except BaseException as error:  # surfaced to the caller below
+        # Client threads park failures for the coordinator, which
+        # re-raises the first one after joining all threads.
+        # repro: lint-ignore[exception-hygiene]
+        except BaseException as error:
             errors.append(error)
 
     threads = [

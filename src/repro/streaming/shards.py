@@ -183,6 +183,10 @@ def _child_seeds(seed, count: int) -> list:
     return [int(root.integers(0, 2**63 - 1)) for _ in range(count)]
 
 
+# ShardedDataset sits *below* the feature layer: iter_shards yields
+# raw FactShard tables, not encoded matrices, so the FeatureSource
+# metadata surface (feature_names/n_levels/n_classes) does not exist
+# yet at this level.  # repro: lint-ignore[feature-source]
 class ShardedDataset:
     """A star schema whose fact rows are visited as bounded shards.
 
@@ -364,7 +368,7 @@ class ShardedDataset:
 
         def load(index: int) -> Table:
             start, stop = plan.bounds(index)
-            rng = np.random.default_rng(seeds[index])
+            rng = ensure_rng(seeds[index])
             return population.block_table(population.draw(rng, stop - start))
 
         return cls(schema, plan, load, source=f"population:{population.name}")

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.streaming",
     "repro.serving",
+    "repro.analysis",
 ]
 
 

@@ -1,10 +1,12 @@
-"""The telemetry hygiene lint: rules fire, allowlist holds, tree is clean.
+"""The telemetry hygiene shim: rules fire, allowlist holds, tree is clean.
 
-``tools/check_telemetry_hygiene.py`` enforces two library-wide rules —
-no ``time.time()`` for durations, no bare ``print()`` outside the
-console chokepoint.  This file unit-tests the checker itself on crafted
-sources, then runs it over ``src/repro`` so the tier-1 suite fails on a
-violation even before the standalone CI job does.
+``tools/check_telemetry_hygiene.py`` is now a thin shim over the
+``wall-clock``/``bare-print``/``raw-sleep`` rules in
+:mod:`repro.analysis`, keeping its historic CLI contract.  This file
+unit-tests the shim on crafted sources (including the crash paths the
+pre-migration script had: syntax errors and non-UTF-8 bytes), then runs
+it over ``src/repro`` so the tier-1 suite fails on a violation even
+before the standalone CI job does.
 """
 
 import sys
@@ -17,6 +19,7 @@ sys.path.insert(0, str(TOOLS))
 
 from check_telemetry_hygiene import (  # noqa: E402
     PRINT_ALLOWLIST,
+    SLEEP_ALLOWLIST,
     check_file,
     check_tree,
     main,
@@ -39,12 +42,15 @@ class TestRules:
         assert "time.time()" in violations[0]
         assert ":2:" in violations[0]
 
-    def test_from_time_import_time_flagged_even_aliased(self, tmp_path):
+    def test_from_time_import_time_flagged_once_with_alias_calls(self, tmp_path):
         violations = _lint(
             tmp_path, "from time import time as now\nstamp = now()\n"
         )
-        # The import itself and the call through the alias both fire.
-        assert len(violations) == 2
+        # One root cause, one finding: the import line, tagging the
+        # call through the alias instead of double-reporting it.
+        assert len(violations) == 1
+        assert ":1:" in violations[0]
+        assert "alias at line 2" in violations[0]
 
     def test_monotonic_clocks_allowed(self, tmp_path):
         source = (
@@ -71,6 +77,40 @@ class TestRules:
         # Only the ``time`` module's attribute counts, not any
         # ``.time()`` method on another object.
         assert _lint(tmp_path, "elapsed = clock.time()\n") == []
+
+    def test_time_sleep_flagged(self, tmp_path):
+        violations = _lint(tmp_path, "import time\ntime.sleep(1)\n")
+        assert len(violations) == 1
+        assert "time.sleep()" in violations[0]
+
+    def test_sleep_chokepoint_allowlisted(self, tmp_path):
+        relative = next(iter(SLEEP_ALLOWLIST))
+        source = "import time\ntime.sleep(0.1)\n"
+        assert _lint(tmp_path, source, str(relative)) == []
+
+
+class TestBrokenFiles:
+    """The pre-migration script crashed on these; now they are findings."""
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        violations = _lint(tmp_path, "def broken(:\n")
+        assert len(violations) == 1
+        assert "could not parse" in violations[0]
+
+    def test_non_utf8_reported_not_raised(self, tmp_path):
+        path = tmp_path / "latin.py"
+        path.write_bytes(b"# \xff\xfe not utf-8\nprint('x')\n")
+        violations = check_file(path, Path("latin.py"))
+        assert len(violations) == 1
+        assert "could not read" in violations[0]
+
+    def test_broken_file_does_not_stop_the_scan(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        (tmp_path / "dirty.py").write_text("print('oops')\n")
+        violations = check_tree(tmp_path)
+        assert len(violations) == 2
+        assert any("could not parse" in v for v in violations)
+        assert any("bare print()" in v for v in violations)
 
 
 class TestTree:

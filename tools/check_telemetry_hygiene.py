@@ -1,39 +1,40 @@
-"""Telemetry hygiene lint for ``src/repro``.
+"""Telemetry hygiene lint for ``src/repro`` — now a thin shim.
 
-Three rules, all enforced over the AST (comments and strings can
-mention whatever they like):
-
-- **No ``time.time()``.**  Wall-clock timestamps drift and step;
-  duration measurements in the library must use the monotonic clocks
-  (``time.perf_counter`` / ``time.monotonic``), and anything worth
-  timing should flow through a :mod:`repro.obs` histogram or span.
-  Both the ``time.time(...)`` attribute-call form and
-  ``from time import time`` are flagged.
-- **No bare ``print()``.**  User-facing output goes through
-  :func:`repro.obs.console.emit`, which routes to an explicit stream —
-  a ``print`` call without a ``file=`` argument is a stray debug line.
-  ``repro/obs/console.py`` itself is the one place allowed to call
-  ``print`` (it is the chokepoint the rule funnels everything into).
-- **No ``time.sleep()``.**  Library code that sleeps is either a
-  backoff (which must go through :func:`repro.resilience.backoff.sleep`
-  so delays stay policy-driven, observable and fault-injectable) or a
-  latent hang.  ``repro/resilience/backoff.py`` is the one sanctioned
-  chokepoint; ``from time import sleep`` is flagged everywhere.
-
-Run from the repo root::
+The three original rules (no ``time.time()`` for durations, no bare
+``print()``, no ``time.sleep()``) live in :mod:`repro.analysis` as the
+``wall-clock``, ``bare-print`` and ``raw-sleep`` rules of the full
+static-analysis suite (``repro lint``).  This script keeps the historic
+CLI contract for CI and older callers:
 
     python tools/check_telemetry_hygiene.py [src/repro]
 
 Exits 0 on a clean tree, 1 with one ``path:line: message`` per
-violation otherwise.  ``tests/test_telemetry_hygiene.py`` runs this on
-every tier-1 pass, and CI runs it as a standalone step.
+violation, 2 on usage error.  Unreadable or unparseable files are
+reported as findings and the scan continues (the pre-migration script
+crashed here).  ``tests/test_telemetry_hygiene.py`` covers the shim;
+``repro lint`` is the richer front end (all seven rules, ``--format
+json``, suppressions).
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
+
+# Make the shim runnable from a source checkout without installation:
+# CI invokes it as a plain script, where ``src`` is not on sys.path.
+try:
+    import repro.analysis  # noqa: F401
+except ImportError:  # pragma: no cover - exercised via subprocess in CI
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.engine import run_analysis  # noqa: E402
+from repro.analysis.rules import ALL_RULES  # noqa: E402
+from repro.analysis.rules.hygiene import (  # noqa: E402
+    BarePrintRule,
+    RawSleepRule,
+    WallClockRule,
+)
 
 #: Files (relative to the scanned root) exempt from the bare-print rule.
 PRINT_ALLOWLIST = {Path("obs/console.py")}
@@ -42,79 +43,29 @@ PRINT_ALLOWLIST = {Path("obs/console.py")}
 #: the backoff chokepoint everything else must route through.
 SLEEP_ALLOWLIST = {Path("resilience/backoff.py")}
 
-
-def _is_module_attr_call(node: ast.Call, attr: str, aliases: set[str]) -> bool:
-    """Whether ``node`` is ``time.<attr>(...)`` or an aliased bare call."""
-    func = node.func
-    if (
-        isinstance(func, ast.Attribute)
-        and func.attr == attr
-        and isinstance(func.value, ast.Name)
-        and func.value.id == "time"
-    ):
-        return True
-    return isinstance(func, ast.Name) and func.id in aliases
+_RULES = (WallClockRule(), BarePrintRule(), RawSleepRule())
+_KNOWN_IDS = tuple(rule.id for rule in ALL_RULES)
 
 
 def check_file(path: Path, relative: Path) -> list[str]:
     """Lint one source file; returns ``path:line: message`` strings."""
-    tree = ast.parse(path.read_text(), filename=str(path))
-    violations: list[str] = []
-    sleep_exempt = relative in SLEEP_ALLOWLIST
-    # Names that ``from time import time/sleep [as alias]`` bound in
-    # this module — calls through them hit the same APIs.
-    time_aliases: set[str] = set()
-    sleep_aliases: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ImportFrom) and node.module == "time":
-            for alias in node.names:
-                if alias.name == "time":
-                    time_aliases.add(alias.asname or alias.name)
-                    violations.append(
-                        f"{path}:{node.lineno}: 'from time import time' —"
-                        " use time.perf_counter/time.monotonic for"
-                        " durations"
-                    )
-                if alias.name == "sleep" and not sleep_exempt:
-                    sleep_aliases.add(alias.asname or alias.name)
-                    violations.append(
-                        f"{path}:{node.lineno}: 'from time import sleep' —"
-                        " route delays through repro.resilience.backoff"
-                        ".sleep"
-                    )
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        if _is_module_attr_call(node, "time", time_aliases):
-            violations.append(
-                f"{path}:{node.lineno}: time.time() — use"
-                " time.perf_counter/time.monotonic for durations"
-            )
-        if not sleep_exempt and _is_module_attr_call(
-            node, "sleep", sleep_aliases
-        ):
-            violations.append(
-                f"{path}:{node.lineno}: time.sleep() — route delays"
-                " through repro.resilience.backoff.sleep"
-            )
-        func = node.func
-        if (
-            isinstance(func, ast.Name)
-            and func.id == "print"
-            and relative not in PRINT_ALLOWLIST
-            and not any(kw.arg == "file" for kw in node.keywords)
-        ):
-            violations.append(
-                f"{path}:{node.lineno}: bare print() — route output"
-                " through repro.obs.console.emit"
-            )
-    return violations
+    rules = [
+        rule
+        for rule in _RULES
+        if not (isinstance(rule, BarePrintRule) and relative in PRINT_ALLOWLIST)
+        and not (isinstance(rule, RawSleepRule) and relative in SLEEP_ALLOWLIST)
+    ]
+    report = run_analysis([path], rules, known_rule_ids=_KNOWN_IDS)
+    return [
+        f"{finding.path}:{finding.line}: {finding.message}"
+        for finding in report.findings
+    ]
 
 
 def check_tree(root: Path) -> list[str]:
     """Lint every ``.py`` file under ``root``."""
     violations: list[str] = []
-    for path in sorted(root.rglob("*.py")):
+    for path in sorted(Path(root).rglob("*.py")):
         violations.extend(check_file(path, path.relative_to(root)))
     return violations
 
@@ -134,7 +85,7 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    print(f"telemetry hygiene: {root} clean")
+    print(f"telemetry hygiene: {root} clean", file=sys.stdout)
     return 0
 
 
