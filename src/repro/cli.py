@@ -62,6 +62,22 @@ _STRATEGIES = {
 }
 
 
+def _parse_parallel(value: str) -> int:
+    """``--parallel workers=N`` (or bare ``N``) -> the worker count."""
+    text = value[len("workers="):] if value.startswith("workers=") else value
+    try:
+        workers = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected workers=N (or a bare integer), got {value!r}"
+        ) from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 1, got {workers}"
+        )
+    return workers
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -166,6 +182,18 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "restore the latest checkpoint in --checkpoint-dir before "
             "training (an empty directory simply starts fresh)"
+        ),
+    )
+    p_fit.add_argument(
+        "--parallel",
+        type=_parse_parallel,
+        default=0,
+        metavar="workers=N",
+        help=(
+            "train on the process-parallel tier (repro.parallel): exact "
+            "logistic fans its FISTA passes across N worker processes "
+            "(bit-identical to serial); other models prefetch shards "
+            "through an N-process pool"
         ),
     )
     p_fit.add_argument("--scale", choices=["smoke", "default", "paper"])
@@ -276,6 +304,18 @@ def build_parser() -> argparse.ArgumentParser:
             "request rows, bound the admission queue and quarantine the "
             "poison, then verify every surviving answer against a clean "
             "server (exit 2 on any divergence)"
+        ),
+    )
+    p_bench.add_argument(
+        "--parallel",
+        type=_parse_parallel,
+        default=0,
+        metavar="workers=N",
+        help=(
+            "benchmark the process-sharded serving tier "
+            "(repro.parallel.ProcessPredictorPool) with an N-process "
+            "pool instead of the --workers thread sweep (requires "
+            "--clients > 0)"
         ),
     )
     p_bench.add_argument(
@@ -457,6 +497,7 @@ def _cmd_fit(args: argparse.Namespace) -> int:
             dataset, args.model, strategy, scale=scale, source=spec,
             seed=args.seed, mode=mode, checkpoint=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every, resume=args.resume,
+            parallel_workers=args.parallel,
         )
         if args.stream:
             shards = result.best_params
@@ -617,6 +658,21 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 error=True,
             )
             return 2
+    if args.parallel:
+        if args.clients <= 0:
+            emit(
+                "error: --parallel benchmarks the process-sharded "
+                "concurrent runtime; pass --clients > 0",
+                error=True,
+            )
+            return 2
+        if args.inject_faults is not None:
+            emit(
+                "error: --parallel and --inject-faults are separate "
+                "modes; run them separately",
+                error=True,
+            )
+            return 2
 
     def run() -> int:
         scale = get_scale(args.scale)
@@ -651,9 +707,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 rows=args.rows,
                 batch_size=args.batch_size,
                 clients=args.clients,
-                worker_counts=tuple(args.workers),
+                worker_counts=(
+                    (args.parallel,) if args.parallel else tuple(args.workers)
+                ),
                 arrival_rate=args.arrival_rate,
                 scale=scale,
+                tier="process" if args.parallel else "thread",
             )
             emit(report.render())
             return 0 if report.identical else 2

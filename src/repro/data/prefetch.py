@@ -117,17 +117,19 @@ class PrefetchingSource(SourceDecorator):
         cancelled = threading.Event()
 
         def produce() -> None:
+            shard_iter = self._produce_shards(order)
             try:
-                for item in self._produce_shards(order):
-                    enqueue_started = time.perf_counter()
-                    if not _put(handoff, (_SHARD, item), cancelled):
+                for item in shard_iter:
+                    # Only time blocked on a full queue counts as stall
+                    # — the consumer is the bottleneck and prefetching
+                    # is doing its job.  An uncontended put accrues 0.
+                    if not _put(
+                        handoff,
+                        (_SHARD, item),
+                        cancelled,
+                        stall=self._producer_stall,
+                    ):
                         return
-                    # Any time beyond an immediate put is the producer
-                    # blocked on a full queue — the consumer is the
-                    # bottleneck, prefetching is doing its job.
-                    self._producer_stall.inc(
-                        time.perf_counter() - enqueue_started
-                    )
                     self._shards.inc()
                     self._queue_depth.set(handoff.qsize())
                 _put(handoff, (_DONE, None), cancelled)
@@ -137,6 +139,12 @@ class PrefetchingSource(SourceDecorator):
             # thread.  # repro: lint-ignore[exception-hygiene]
             except BaseException as error:
                 _put(handoff, (_ERROR, error), cancelled)
+            finally:
+                # Cancellation must release the wrapped generator's
+                # resources (open CSV handles, spill entries): closing
+                # the worker's iterator propagates GeneratorExit into
+                # `source.iter_shards` even on the non-retry path.
+                shard_iter.close()
 
         worker = threading.Thread(
             target=produce, name="repro-prefetch", daemon=False
@@ -172,12 +180,32 @@ class PrefetchingSource(SourceDecorator):
         return f"PrefetchingSource({self.source!r}, depth={self.depth})"
 
 
-def _put(handoff: queue.Queue, item, cancelled: threading.Event) -> bool:
-    """Enqueue unless the pass is cancelled; returns False on cancel."""
-    while not cancelled.is_set():
-        try:
-            handoff.put(item, timeout=_POLL_SECONDS)
-            return True
-        except queue.Full:
-            continue
-    return False
+def _put(
+    handoff: queue.Queue,
+    item,
+    cancelled: threading.Event,
+    stall=None,
+) -> bool:
+    """Enqueue unless the pass is cancelled; returns False on cancel.
+
+    Only time spent blocked on a full queue accrues to ``stall`` (a
+    counter, when given): the first put attempt is free, so a consumer
+    that always keeps up reads ~0 producer stall.
+    """
+    try:
+        handoff.put_nowait(item)
+        return True
+    except queue.Full:
+        pass
+    blocked_started = time.perf_counter()
+    try:
+        while not cancelled.is_set():
+            try:
+                handoff.put(item, timeout=_POLL_SECONDS)
+                return True
+            except queue.Full:
+                continue
+        return False
+    finally:
+        if stall is not None:
+            stall.inc(time.perf_counter() - blocked_started)

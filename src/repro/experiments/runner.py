@@ -386,6 +386,7 @@ def _run_source_experiment(
     checkpoint=None,
     checkpoint_every: int = 1,
     resume: bool = False,
+    parallel_workers: int = 0,
 ) -> RunResult:
     """One single-configuration cell over :class:`SourceSpec`-built sources."""
     from repro.streaming import StreamingTrainer
@@ -408,6 +409,7 @@ def _run_source_experiment(
             checkpoint=checkpoint,
             checkpoint_every=checkpoint_every,
             resume=resume,
+            parallel_workers=parallel_workers,
         )
         trainer.fit(sources["train"])
 
@@ -449,6 +451,7 @@ def run_experiment(
     checkpoint=None,
     checkpoint_every: int = 1,
     resume: bool = False,
+    parallel_workers: int = 0,
 ) -> RunResult:
     """Run one experiment cell end to end.
 
@@ -473,8 +476,8 @@ def run_experiment(
     ``random_state=0`` grids and ignores ``seed``; vary the dataset
     generation seed to resample a tuned cell.
 
-    ``mode``, ``checkpoint``, ``checkpoint_every`` and ``resume`` are
-    forwarded to the source path's
+    ``mode``, ``checkpoint``, ``checkpoint_every``, ``resume`` and
+    ``parallel_workers`` are forwarded to the source path's
     :class:`~repro.streaming.StreamingTrainer` (checkpoint/resume
     semantics are documented there); the tuned path rejects them via
     the trainer's own validation when combined incorrectly and ignores
@@ -490,6 +493,7 @@ def run_experiment(
             dataset, model_key, strategy, source, scale, seed,
             mode=mode, checkpoint=checkpoint,
             checkpoint_every=checkpoint_every, resume=resume,
+            parallel_workers=parallel_workers,
         )
     started = time.perf_counter()
     pipeline = fit_pipeline(

@@ -1,0 +1,47 @@
+"""The process-parallel execution tier over the ``FeatureSource`` protocol.
+
+Three pieces, one per GIL-bound stage of the system:
+
+- :class:`ProcessPrefetchingSource` — shard *production* on a worker
+  process pool, with encoded shards crossing the process boundary as
+  zero-copy shared-memory views (:mod:`repro.parallel.shm`);
+- :class:`ProcessFISTAPasses` — shard *consumption* for exact
+  streaming FISTA: gradient and power-iteration passes fanned across
+  worker processes with a deterministic stream-order reduction, so
+  coefficients stay bit-identical to the serial path;
+- :class:`ProcessPredictorPool` — shard *serving*: flushed
+  micro-batches partitioned across predictor processes, per-worker
+  telemetry merged back through
+  :meth:`repro.obs.MetricsRegistry.merge_state`.
+
+This package is the only place in the tree allowed to construct
+``multiprocessing`` primitives — `repro lint`'s ``process-discipline``
+rule enforces the boundary, so process fan-out (and its failure modes:
+orphaned segments, zombie workers, unjoined queues) stays auditable in
+one module.  Worker death is a survivable, counted fault everywhere:
+each pool detects it, cleans up after it, and recomputes or
+re-dispatches the lost work.
+"""
+
+from repro.parallel.epochs import ProcessFISTAPasses
+from repro.parallel.prefetch import START_METHOD_ENV, ProcessPrefetchingSource
+from repro.parallel.serving import ProcessPredictorPool
+from repro.parallel.shm import (
+    ShardHandle,
+    export_shard,
+    import_shard,
+    release,
+    sweep,
+)
+
+__all__ = [
+    "ProcessFISTAPasses",
+    "ProcessPredictorPool",
+    "ProcessPrefetchingSource",
+    "START_METHOD_ENV",
+    "ShardHandle",
+    "export_shard",
+    "import_shard",
+    "release",
+    "sweep",
+]

@@ -1,0 +1,339 @@
+"""Process-pool shard prefetching over shared-memory transport.
+
+The thread tier (:class:`repro.data.PrefetchingSource`) overlaps shard
+production with consumption but shares the GIL with the consumer, so
+CPU-bound production (CSV parsing, per-shard joins, encoding) still
+steals optimiser time.  :class:`ProcessPrefetchingSource` moves
+production into worker *processes*: each worker owns a static stripe of
+the pass's shard order, produces its shards from its own copy of the
+wrapped source, and exports each one into a shared-memory segment
+(:mod:`repro.parallel.shm`); only the small handle crosses the queue,
+and the consumer rebuilds the shard as zero-copy views.
+
+Contract, mirroring the thread tier's (enforced by
+``tests/test_parallel_prefetch.py``):
+
+- **Determinism** — shards arrive in exactly the wrapped source's
+  order.  Worker ``w`` owns positions ``w, w+W, w+2W, ...`` of the
+  requested order and produces them in sequence, so the parent reads
+  position ``k`` from worker ``k % W``'s queue — no reorder buffer.
+- **Bounded memory** — each worker's queue holds at most ``depth``
+  handles, so at most ``W × depth + 1`` shard segments exist at once.
+- **Clean cancellation** — abandoning the iterator unlinks the current
+  segment, drains and unlinks every queued segment, and joins every
+  worker before control returns; ``/dev/shm`` is left empty.
+- **Worker death is survivable** — a worker that dies mid-pass
+  (crash, OOM kill, injected fault) is detected, its undelivered
+  segments are swept by deterministic name, and the parent produces
+  the worker's remaining shards inline from the wrapped source
+  (through ``retry_policy`` when given), counting
+  ``parallel.prefetch.worker_deaths`` / ``fallback_shards``.  The
+  pass completes with identical bytes.
+
+The zero-copy views handed to the consumer are valid only until the
+iterator advances past the shard (or closes) — the loop-body usage
+every trainer and scorer in this repo follows.  Consumers that stash
+shards must copy them.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import time
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.source import FeatureSource, SourceDecorator
+from repro.obs import MetricsRegistry
+from repro.parallel.shm import export_shard, import_shard, release, sweep
+
+#: How long a blocked worker/parent waits before re-checking for
+#: cancellation or worker death.
+_POLL_SECONDS = 0.05
+
+#: How long cancellation waits for workers to exit before terminating.
+_JOIN_SECONDS = 5.0
+
+_SHARD = "shard"
+_DONE = "done"
+_ERROR = "error"
+
+#: Environment override for the multiprocessing start method; the CI
+#: process-stress job sets ``spawn`` to prove the tier does not depend
+#: on fork's address-space inheritance.
+START_METHOD_ENV = "REPRO_MP_START_METHOD"
+
+
+def _resolve_context(start_method: str | None):
+    import multiprocessing
+
+    method = start_method or os.environ.get(START_METHOD_ENV) or None
+    return multiprocessing.get_context(method)
+
+
+def _offer(handoff, item, cancelled) -> bool:
+    """Enqueue unless the pass is cancelled; returns False on cancel."""
+    while not cancelled.is_set():
+        try:
+            handoff.put(item, timeout=_POLL_SECONDS)
+            return True
+        except queue.Full:
+            continue
+    return False
+
+
+def _produce_worker(
+    source: FeatureSource,
+    indices: Sequence[int],
+    handoff,
+    cancelled,
+    prefix: str,
+    kill_after: int | None,
+) -> None:
+    """Worker entry point: export the assigned stripe, in order.
+
+    Module-level so the ``spawn`` start method can pickle it.  The
+    ``kill_after`` hook is the deterministic fault used by the chaos
+    suite: after exporting that many shards the worker dies abruptly
+    (``os._exit``) *before* creating the next segment, modelling an OOM
+    kill at the point where it leaks nothing.
+    """
+    exported = 0
+    try:
+        for ordinal, index in enumerate(indices):
+            if cancelled.is_set():
+                return
+            if kill_after is not None and exported >= kill_after:
+                os._exit(3)
+            X, y = source.shard(int(index))
+            handle = export_shard(f"{prefix}s{ordinal}", index, X, y)
+            if not _offer(handoff, (_SHARD, handle), cancelled):
+                # Cancelled while blocked: the handle never reached the
+                # consumer, so the segment is this worker's to reclaim.
+                sweep([handle.segment])
+                return
+            exported += 1
+        _offer(handoff, (_DONE, None), cancelled)
+    # The handoff queue IS the error route: the parent re-raises this
+    # in the consumer.  # repro: lint-ignore[exception-hygiene]
+    except BaseException as error:
+        _offer(handoff, (_ERROR, error), cancelled)
+
+
+class ProcessPrefetchingSource(SourceDecorator):
+    """Prefetch the wrapped source's shards on a process pool.
+
+    Parameters
+    ----------
+    source:
+        Any :class:`FeatureSource`.  Under the default ``fork`` start
+        method workers inherit it; under ``spawn`` it must pickle.
+    workers:
+        Producer processes per pass.
+    depth:
+        Maximum handles (hence live segments) queued per worker beyond
+        the one the consumer holds.
+    registry:
+        Metrics registry backing ``parallel.prefetch.*``: shards
+        produced, consumer-wait histogram, worker deaths, and inline
+        fallback shards.  ``None`` keeps a private one.
+    retry_policy:
+        Optional :class:`~repro.resilience.RetryPolicy` (duck-typed)
+        applied to the parent's *inline fallback* reads after a worker
+        death — the worker-death recovery path is itself retryable.
+    start_method:
+        ``fork``/``spawn``/``forkserver``; ``None`` defers to the
+        ``REPRO_MP_START_METHOD`` environment variable, then the
+        platform default.
+
+    Yielded ``(index, X, y)`` shards are zero-copy views *borrowed*
+    from a shared-memory segment that is reclaimed when the consumer
+    advances (or closes) the iterator — copy the arrays to keep a
+    shard beyond its iteration.  Every in-tree ``FeatureSource``
+    consumer already works shard-at-a-time.
+    """
+
+    def __init__(
+        self,
+        source: FeatureSource,
+        workers: int = 2,
+        depth: int = 2,
+        registry: MetricsRegistry | None = None,
+        retry_policy=None,
+        start_method: str | None = None,
+        _kill_after: dict[int, int] | None = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if depth < 1:
+            raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+        super().__init__(source)
+        self.workers = workers
+        self.depth = depth
+        self.retry_policy = retry_policy
+        self.start_method = start_method
+        self._kill_after = _kill_after or {}
+        self._pass_counter = 0
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._shards = self.metrics.counter("parallel.prefetch.shards")
+        self._deaths = self.metrics.counter("parallel.prefetch.worker_deaths")
+        self._fallbacks = self.metrics.counter(
+            "parallel.prefetch.fallback_shards"
+        )
+        self._consumer_wait = self.metrics.histogram(
+            "parallel.prefetch.consumer_wait_s"
+        )
+
+    def _fallback_shard(self, index: int):
+        """Produce one shard inline after its worker died."""
+        self._fallbacks.inc()
+        if self.retry_policy is not None:
+            return self.retry_policy.call(
+                lambda: self.source.shard(index),
+                registry=self.metrics,
+                describe=f"fallback read of shard {index}",
+            )
+        return self.source.shard(index)
+
+    def iter_shards(
+        self, order: Sequence[int] | np.ndarray | None = None
+    ) -> Iterator[tuple[int, "CategoricalMatrix", np.ndarray]]:  # noqa: F821
+        indices = (
+            list(range(self.source.n_shards))
+            if order is None
+            else [int(i) for i in order]
+        )
+        if not indices:
+            return
+        ctx = _resolve_context(self.start_method)
+        self._pass_counter += 1
+        n_workers = min(self.workers, len(indices))
+        prefix = f"reprop{os.getpid()}g{self._pass_counter}"
+        cancelled = ctx.Event()
+        handoffs = [ctx.Queue(maxsize=self.depth) for _ in range(n_workers)]
+        stripes = [indices[w::n_workers] for w in range(n_workers)]
+        procs = [
+            ctx.Process(
+                target=_produce_worker,
+                args=(
+                    self.source,
+                    stripes[w],
+                    handoffs[w],
+                    cancelled,
+                    f"{prefix}w{w}",
+                    self._kill_after.get(w),
+                ),
+                name=f"repro-pprefetch-{w}",
+                daemon=False,
+            )
+            for w in range(n_workers)
+        ]
+        received = [0] * n_workers  # handles consumed per worker
+        finished = [False] * n_workers  # saw _DONE, worker dead, or errored
+        for proc in procs:
+            proc.start()
+        try:
+            for position, index in enumerate(indices):
+                w = position % n_workers
+                if finished[w]:
+                    yield (index, *self._fallback_shard(index))
+                    continue
+                kind, item = self._next_item(handoffs[w], procs[w])
+                if kind == _ERROR:
+                    finished[w] = True
+                    raise item
+                if kind == _DONE:
+                    # Worker death (premature end of stripe): sweep the
+                    # window of segments it may have exported but never
+                    # delivered, then fall back inline.
+                    finished[w] = True
+                    self._deaths.inc()
+                    self._sweep_window(f"{prefix}w{w}", received[w])
+                    yield (index, *self._fallback_shard(index))
+                    continue
+                received[w] += 1
+                segment, X, y = import_shard(item)
+                self._shards.inc()
+                try:
+                    yield item.index, X, y
+                finally:
+                    release(segment)
+        finally:
+            cancelled.set()
+            self._teardown(handoffs, procs, prefix, received)
+
+    def _next_item(self, handoff, proc):
+        """One queue read with worker-death detection.
+
+        Returns the queued ``(kind, item)``; a worker found dead with
+        an empty queue reads as a premature ``(_DONE, None)``.
+        """
+        wait_started = time.perf_counter()
+        while True:
+            try:
+                item = handoff.get(timeout=_POLL_SECONDS)
+                break
+            except queue.Empty:
+                if proc.is_alive():
+                    continue
+                # The feeder thread may have flushed items between our
+                # last poll and the death — drain before declaring it.
+                try:
+                    item = handoff.get_nowait()
+                    break
+                except queue.Empty:
+                    item = (_DONE, None)
+                    break
+        self._consumer_wait.observe(time.perf_counter() - wait_started)
+        return item
+
+    def _sweep_window(self, worker_prefix: str, received_count: int) -> None:
+        """Unlink segments a dead worker exported but never delivered.
+
+        Export ordinals are sequential, so everything the worker could
+        have created beyond what the parent consumed lies in the window
+        ``[received, received + depth + 1]``.
+        """
+        sweep(
+            f"{worker_prefix}s{ordinal}"
+            for ordinal in range(received_count, received_count + self.depth + 2)
+        )
+
+    def _teardown(self, handoffs, procs, prefix, received) -> None:
+        """Drain queues, reclaim queued segments, and join every worker."""
+        deadline = time.monotonic() + _JOIN_SECONDS
+        for w, (handoff, proc) in enumerate(zip(handoffs, procs)):
+            # Drain before joining so a worker blocked on a full queue
+            # frees up and sees the cancellation promptly.
+            self._drain(handoff, received, w)
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+                # A terminated worker may strand an exported segment —
+                # sweep its undelivered window.
+                self._sweep_window(f"{prefix}w{w}", received[w])
+            # Items the worker flushed into the pipe on its way out
+            # arrive after the join; reclaim those segments too.
+            self._drain(handoff, received, w)
+            handoff.close()
+            handoff.join_thread()
+
+    def _drain(self, handoff, received, w) -> None:
+        """Unlink every queued-but-unconsumed shard segment."""
+        while True:
+            try:
+                kind, item = handoff.get_nowait()
+            except queue.Empty:
+                return
+            if kind == _SHARD:
+                sweep([item.segment])
+                received[w] += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessPrefetchingSource({self.source!r}, "
+            f"workers={self.workers}, depth={self.depth})"
+        )

@@ -1,0 +1,181 @@
+"""Zero-copy shard transport over POSIX shared memory.
+
+A producer process exports one encoded shard — the ``(codes, labels)``
+pair of a :class:`~repro.ml.encoding.CategoricalMatrix` plus a small
+picklable header — into a named ``multiprocessing.shared_memory``
+segment; the consumer attaches and rebuilds the shard as numpy views
+*into the segment*, so the shard's bytes cross the process boundary
+exactly once (the producer's copy-in) instead of being pickled,
+piped, and unpickled.
+
+Lifecycle contract (enforced by ``tests/test_parallel_prefetch.py``):
+
+- the producer creates the segment, copies the arrays in, detaches,
+  and hands only the :class:`ShardHandle` over the queue — from that
+  moment the consumer owns the segment;
+- the consumer attaches, builds its views, and calls :func:`release`
+  when it advances past the shard: the segment is unlinked (the name
+  disappears from ``/dev/shm``) and the mapping dropped, so the views
+  are *borrowed* — valid only until release.  A consumer that needs a
+  shard beyond the current iteration must copy it first;
+- segment names are deterministic (``reprop<pid>w<worker>g<pass>s<n>``),
+  so after a worker dies mid-pass the parent can sweep the bounded
+  window of names the worker could have exported and unlink any
+  orphans — crash cleanup without a registry.
+
+CPython 3.11 wrinkles this module exists to contain: attaching (not
+just creating) registers the segment with the process's
+``resource_tracker``, so the producer must explicitly unregister after
+handoff or the tracker double-unlinks at exit; and numpy views built
+over ``shm.buf`` slices end up based on the raw ``mmap``, so
+``shm.close()`` unmaps *under* them rather than raising ``BufferError``
+— which is why release-time is the hard end of the views' lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.ml.encoding import CategoricalMatrix
+
+__all__ = ["ShardHandle", "export_shard", "import_shard", "release", "sweep"]
+
+
+@dataclass(frozen=True)
+class ShardHandle:
+    """The picklable header describing one exported shard segment."""
+
+    segment: str
+    index: int
+    n_rows: int
+    n_features: int
+    n_levels: tuple[int, ...]
+    names: tuple[str, ...]
+    labels_dtype: str
+
+    @property
+    def codes_bytes(self) -> int:
+        return self.n_rows * self.n_features * 8
+
+    @property
+    def labels_bytes(self) -> int:
+        return self.n_rows * np.dtype(self.labels_dtype).itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return self.codes_bytes + self.labels_bytes
+
+
+def export_shard(
+    segment: str, index: int, X: CategoricalMatrix, y: np.ndarray
+) -> ShardHandle:
+    """Copy one encoded shard into a named segment; return its handle.
+
+    After this returns the producer holds no mapping: the handle alone
+    travels over the queue, and the consumer (or the parent's crash
+    sweep) is responsible for unlinking the segment.
+    """
+    codes = np.ascontiguousarray(X.codes, dtype=np.int64)
+    labels = np.ascontiguousarray(y)
+    handle = ShardHandle(
+        segment=segment,
+        index=int(index),
+        n_rows=int(codes.shape[0]),
+        n_features=int(codes.shape[1]),
+        n_levels=tuple(int(k) for k in X.n_levels),
+        names=tuple(X.names),
+        labels_dtype=labels.dtype.str,
+    )
+    shm = shared_memory.SharedMemory(
+        name=segment, create=True, size=max(1, handle.nbytes)
+    )
+    try:
+        codes_view = np.ndarray(
+            codes.shape, dtype=np.int64, buffer=shm.buf[: handle.codes_bytes]
+        )
+        codes_view[...] = codes
+        labels_view = np.ndarray(
+            labels.shape,
+            dtype=labels.dtype,
+            buffer=shm.buf[
+                handle.codes_bytes : handle.codes_bytes + handle.labels_bytes
+            ],
+        )
+        labels_view[...] = labels
+        del codes_view, labels_view
+    finally:
+        shm.close()
+        # Ownership moved to the consumer: without this, *this*
+        # process's resource tracker would unlink the segment at exit
+        # out from under whoever still holds the handle (CPython
+        # registers on create and on attach alike).
+        resource_tracker.unregister(shm._name, "shared_memory")
+    return handle
+
+
+def import_shard(
+    handle: ShardHandle,
+) -> tuple[shared_memory.SharedMemory, CategoricalMatrix, np.ndarray]:
+    """Attach a handle's segment and rebuild the shard as views into it.
+
+    Returns ``(segment, X, y)``: the codes and labels are zero-copy
+    views borrowed from the segment — they become invalid the moment
+    :func:`release` is called, so consumers that keep a shard past the
+    current iteration must copy it.  The codes were range-checked when
+    the wrapped source produced them, so revalidation is skipped.
+    """
+    shm = shared_memory.SharedMemory(name=handle.segment)
+    codes = np.ndarray(
+        (handle.n_rows, handle.n_features),
+        dtype=np.int64,
+        buffer=shm.buf[: handle.codes_bytes],
+    )
+    labels = np.ndarray(
+        (handle.n_rows,),
+        dtype=np.dtype(handle.labels_dtype),
+        buffer=shm.buf[
+            handle.codes_bytes : handle.codes_bytes + handle.labels_bytes
+        ],
+    )
+    X = CategoricalMatrix(codes, handle.n_levels, handle.names, validate=False)
+    return shm, X, labels
+
+
+def release(shm: shared_memory.SharedMemory) -> None:
+    """Unlink an attached segment and drop this process's mapping.
+
+    Unlink comes first so the name leaves ``/dev/shm`` immediately
+    (idempotent: a segment someone else already unlinked is fine);
+    ``close()`` then unmaps, invalidating any views still built over
+    the segment — callers must be done with the shard's arrays (or
+    have copied them) before releasing.
+    """
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    try:
+        shm.close()
+    except BufferError:
+        pass
+
+
+def sweep(segments) -> int:
+    """Unlink every named segment that still exists; returns the count.
+
+    Crash cleanup: the parent calls this with the bounded window of
+    deterministic names a dead worker could have exported but never
+    handed over.
+    """
+    removed = 0
+    for name in segments:
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        release(shm)
+        removed += 1
+    return removed

@@ -42,6 +42,27 @@ from repro.errors import DeadlineExceededError, ServerOverloadedError
 from repro.obs import MetricsRegistry
 
 
+def _chained_copy(error: BaseException) -> BaseException:
+    """A per-handle copy of a batch failure, chained from the original.
+
+    Every co-batched handle re-raises its failure from ``result()``,
+    and each ``raise`` mutates the raised object's ``__traceback__`` —
+    so handing the *same* exception instance to every handle lets
+    concurrent claimers race on one traceback chain.  Each handle gets
+    its own instance instead, with ``__cause__`` pointing at the
+    original (which keeps the batch thread's traceback intact).
+    """
+    try:
+        copy = type(error)(*error.args)
+    # Exception types whose constructors don't round-trip ``args`` fall
+    # back to a typed wrapper; the original still rides along as the
+    # cause.  # repro: lint-ignore[exception-hygiene]
+    except Exception:
+        copy = RuntimeError(f"{type(error).__name__}: {error}")
+    copy.__cause__ = error
+    return copy
+
+
 class PendingPrediction:
     """A handle to a submitted row's eventual prediction.
 
@@ -433,7 +454,7 @@ class MicroBatcher:
             self._rows_failed.inc(len(batch))
             self._count_reason(self._FAILURE_REASON_PREFIX, "RuntimeError")
             for _, pending, *_ in batch:
-                pending._fail(error)
+                pending._fail(_chained_copy(error))
             with self._delivered:
                 self._delivered.notify_all()
 
@@ -652,10 +673,11 @@ class MicroBatcher:
                 self._FAILURE_REASON_PREFIX, type(error).__name__
             )
             # The flush trigger's caller sees the raise (when there is
-            # one); every co-batched handle records it so its result()
-            # re-raises too.
+            # one); every co-batched handle records its own chained
+            # copy so concurrent result() re-raises never share (and
+            # race on) one traceback.
             for _, pending, *_ in batch:
-                pending._fail(error)
+                pending._fail(_chained_copy(error))
             with self._delivered:
                 self._delivered.notify_all()
             if reraise:

@@ -12,6 +12,9 @@ test:
   whatever the queue depth.
 """
 
+import gc
+import inspect
+import sys
 import threading
 import traceback
 
@@ -267,3 +270,178 @@ class TestTrainingThroughPrefetch:
         assert np.array_equal(sharded.coef_, model.coef_)
         assert sharded.intercept_ == model.intercept_
         assert reference.n_iter_ == model.n_iter_
+
+
+class TestProducerStallAccounting:
+    def test_zero_stall_when_queue_never_fills(self, train_matrix):
+        """Regression: an uncontended put must accrue exactly 0 stall.
+
+        The stall counter previously timed *every* enqueue — including
+        immediate puts into a non-full queue, whose measured duration
+        is pure call overhead plus GIL scheduling noise.  With the
+        queue deeper than the whole pass, no put ever blocks, so the
+        metric must read exactly 0.0 (the counter is only ever
+        incremented after a put actually hit a full queue).
+        """
+        from repro.obs import MetricsRegistry
+
+        X, y = train_matrix
+        registry = MetricsRegistry()
+        source = PrefetchingSource(
+            MatrixSource(X, y, shard_rows=20), depth=1024, registry=registry
+        )
+        for _ in range(2):  # two passes: the counter never moves
+            for _ in source.iter_shards():
+                pass
+        stall = registry.get("data.prefetch.producer_stall_s")
+        assert stall.value == 0.0
+
+    def test_blocked_producer_still_accrues_stall(self, train_matrix):
+        """The slow-consumer direction must keep registering stall."""
+        import time as _time
+
+        from repro.obs import MetricsRegistry
+
+        X, y = train_matrix
+        registry = MetricsRegistry()
+        source = PrefetchingSource(
+            MatrixSource(X, y, shard_rows=20), depth=1, registry=registry
+        )
+        for i, _, _ in source.iter_shards():
+            _time.sleep(0.03)  # the consumer is the bottleneck
+        stall = registry.get("data.prefetch.producer_stall_s")
+        assert stall.value > 0.0
+
+
+class _PassTrackingSource(MatrixSource):
+    """A source that tracks its open passes, like a spill cache keeping
+    per-pass handles: the returned generator is retained, so only an
+    explicit ``close()`` (GeneratorExit) releases the pass."""
+
+    def __init__(self, X, y, shard_rows):
+        super().__init__(X, y, shard_rows=shard_rows)
+        self.open_passes = 0
+        self._passes = []  # strong refs: GC cannot close these for us
+
+    def iter_shards(self, order=None):
+        gen = self._pass(order)
+        self._passes.append(gen)
+        return gen
+
+    def _pass(self, order):
+        self.open_passes += 1
+        try:
+            yield from super().iter_shards(order)
+        finally:
+            self.open_passes -= 1
+
+
+class TestCancellationReleasesGenerator:
+    def test_abandoned_pass_closes_wrapped_generator(self, train_matrix):
+        """Regression: cancellation must close the wrapped generator.
+
+        Abandoning the prefetched iterator used to leave the worker's
+        wrapped ``iter_shards`` generator suspended forever whenever
+        anything held a reference to it — its ``finally`` (open CSV
+        handles, spill entries) never ran.  The worker now closes the
+        generator on its way out, so by the time cancellation returns
+        the pass's resources are released.
+        """
+        X, y = train_matrix
+        source = _PassTrackingSource(X, y, shard_rows=20)
+        prefetched = PrefetchingSource(source, depth=1)
+        it = prefetched.iter_shards()
+        next(it)
+        assert source.open_passes == 1
+        it.close()  # cancel mid-pass
+        assert source.open_passes == 0
+
+    def test_completed_pass_also_closes_generator(self, train_matrix):
+        X, y = train_matrix
+        source = _PassTrackingSource(X, y, shard_rows=20)
+        prefetched = PrefetchingSource(source, depth=2)
+        for _ in prefetched.iter_shards():
+            pass
+        assert source.open_passes == 0
+
+
+class _ExplodingTrackingSource(_PassTrackingSource):
+    """Pass-tracking source whose shard ``explode_at`` fails."""
+
+    def __init__(self, X, y, shard_rows, explode_at):
+        super().__init__(X, y, shard_rows=shard_rows)
+        self.explode_at = explode_at
+
+    def shard(self, index):
+        if index == self.explode_at:
+            raise RuntimeError(f"shard {index} exploded")
+        return super().shard(index)
+
+
+class _PinningTrackingSource(_PassTrackingSource):
+    """A tracking source that pins its consumer's delegating iterator.
+
+    Stands in for anything that defeats refcount-driven finalization of
+    the prefetch worker's generator: a reference cycle through the
+    source, a profiler or traceback cache holding frames, or a runtime
+    without prompt refcounting (PyPy).  With the pin held, only an
+    explicit ``close()`` can release the pass.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.pinned = []
+
+    def _pass(self, order):
+        self.open_passes += 1
+        try:
+            first = True
+            for shard in super(_PassTrackingSource, self).iter_shards(order):
+                if first:
+                    first = False
+                    caller = sys._getframe(1)
+                    self.pinned.extend(
+                        ref
+                        for ref in gc.get_referrers(caller)
+                        if inspect.isgenerator(ref)
+                    )
+                yield shard
+        finally:
+            self.open_passes -= 1
+
+
+class TestErrorPathReleasesGenerator:
+    def test_error_raised_through_generator_runs_its_finally(
+        self, train_matrix
+    ):
+        """An error raised *inside* the wrapped generator terminates it."""
+        X, y = train_matrix
+        source = _ExplodingTrackingSource(X, y, shard_rows=20, explode_at=2)
+        prefetched = PrefetchingSource(source, depth=1)
+        with pytest.raises(RuntimeError, match="exploded"):
+            for _ in prefetched.iter_shards():
+                pass
+        assert source.open_passes == 0
+
+    def test_cancel_closes_generator_pinned_by_external_reference(
+        self, train_matrix
+    ):
+        """Regression: cancellation must *close* the wrapped generator,
+        not merely drop the last reference to it.
+
+        The pre-fix worker relied on refcounting to finalize its
+        delegating generator when the pass was cancelled — so any
+        surviving reference (a cycle through the source, a cached
+        frame, delayed GC) left the wrapped ``iter_shards`` suspended
+        forever and its ``finally`` (open CSV handles, spill entries)
+        never ran.  With the pin below held, only the worker's explicit
+        ``close()`` releases the pass.
+        """
+        X, y = train_matrix
+        source = _PinningTrackingSource(X, y, shard_rows=5)
+        prefetched = PrefetchingSource(source, depth=1)
+        it = prefetched.iter_shards()
+        next(it)
+        it.close()
+        assert source.pinned, "expected to capture the worker's iterator"
+        assert source.open_passes == 0

@@ -1,0 +1,121 @@
+"""Data-parallel epochs: process-pool training, bit-identical results.
+
+The whole value of :class:`repro.parallel.ProcessFISTAPasses` (and of
+routing incremental epochs through
+:class:`~repro.parallel.ProcessPrefetchingSource`) is that the
+parallelism is *invisible* in the output: coefficients, intercepts,
+iteration counts, and predictions match the serial path bit for bit,
+worker deaths included.  Every test here asserts exact equality —
+``==`` on float arrays, not ``allclose``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import no_join_strategy
+from repro.data import MatrixSource
+from repro.datasets import generate_real_world
+from repro.ml import L1LogisticRegression, MLPClassifier
+from repro.obs import MetricsRegistry
+from repro.parallel import ProcessFISTAPasses
+from repro.streaming import StreamingTrainer
+
+
+@pytest.fixture(scope="module")
+def matrices():
+    dataset = generate_real_world("yelp", n_fact=200, seed=0)
+    return no_join_strategy().matrices(dataset)
+
+
+@pytest.fixture(scope="module")
+def source(matrices):
+    return MatrixSource(matrices.X_train, matrices.y_train, shard_rows=23)
+
+
+def _shm_orphans():
+    prefix = f"reprop{os.getpid()}"
+    try:
+        entries = os.listdir("/dev/shm")
+    except FileNotFoundError:
+        return []
+    return [name for name in entries if name.startswith(prefix)]
+
+
+def _assert_same_fit(reference, candidate):
+    assert np.array_equal(reference.coef_, candidate.coef_)
+    assert reference.intercept_ == candidate.intercept_
+    assert reference.n_iter_ == candidate.n_iter_
+
+
+class TestProcessFISTAPasses:
+    def test_fit_stream_is_bit_identical_to_serial(self, source):
+        serial = L1LogisticRegression(max_iter=40).fit_stream(source)
+        with ProcessFISTAPasses(source, workers=2) as passes:
+            parallel = L1LogisticRegression(max_iter=40).fit_stream(
+                source, passes=passes
+            )
+        _assert_same_fit(serial, parallel)
+
+    def test_single_worker_is_bit_identical(self, source):
+        serial = L1LogisticRegression(max_iter=25).fit_stream(source)
+        with ProcessFISTAPasses(source, workers=1) as passes:
+            parallel = L1LogisticRegression(max_iter=25).fit_stream(
+                source, passes=passes
+            )
+        _assert_same_fit(serial, parallel)
+
+    def test_pool_survives_killed_worker_bit_identical(self, source):
+        serial = L1LogisticRegression(max_iter=25).fit_stream(source)
+        registry = MetricsRegistry()
+        with ProcessFISTAPasses(source, workers=2, registry=registry) as passes:
+            passes._kill_worker(0)
+            parallel = L1LogisticRegression(max_iter=25).fit_stream(
+                source, passes=passes
+            )
+        _assert_same_fit(serial, parallel)
+        assert registry.get("parallel.epochs.worker_deaths").value >= 1
+        assert registry.get("parallel.epochs.fallback_shards").value >= 1
+
+    def test_passes_counter_tracks_evaluations(self, source):
+        registry = MetricsRegistry()
+        with ProcessFISTAPasses(source, workers=2, registry=registry) as passes:
+            L1LogisticRegression(max_iter=10).fit_stream(source, passes=passes)
+            assert registry.get("parallel.epochs.passes").value > 0
+
+    def test_workers_must_be_positive(self, source):
+        with pytest.raises(ValueError, match="workers"):
+            ProcessFISTAPasses(source, workers=0)
+
+
+class TestStreamingTrainerParallel:
+    def test_exact_lr_parallel_matches_serial(self, source):
+        serial = StreamingTrainer(L1LogisticRegression(max_iter=30)).fit(source)
+        parallel = StreamingTrainer(
+            L1LogisticRegression(max_iter=30), parallel_workers=2
+        ).fit(source)
+        _assert_same_fit(serial, parallel)
+        assert _shm_orphans() == []
+
+    def test_mlp_epochs_through_process_prefetch_match_serial(self, matrices):
+        def fit(workers):
+            model = MLPClassifier(
+                hidden_sizes=(8,), epochs=2, batch_size=64, random_state=0
+            )
+            trainer = StreamingTrainer(model, parallel_workers=workers)
+            src = MatrixSource(
+                matrices.X_train, matrices.y_train, shard_rows=40
+            )
+            return trainer.fit(src)
+
+        serial, parallel = fit(0), fit(2)
+        X_test = matrices.X_test
+        assert np.array_equal(serial.predict(X_test), parallel.predict(X_test))
+        assert _shm_orphans() == []
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="parallel_workers"):
+            StreamingTrainer(
+                L1LogisticRegression(), parallel_workers=-1
+            )

@@ -233,6 +233,52 @@ class TestFailureVisibility:
         with pytest.raises(ValueError, match="workers"):
             PredictionServer(artifact, dataset.schema, workers=0)
 
+    def test_co_batched_failures_are_distinct_exceptions(
+        self, artifact, dataset, monkeypatch
+    ):
+        """Regression: co-batched handles must not share one exception.
+
+        Every ``result()`` re-raise mutates the raised instance's
+        ``__traceback__`` — two threads claiming handles from the same
+        failed batch raced on one traceback chain and could observe a
+        frame list mid-mutation.  Each handle now gets its own copy,
+        chained (``__cause__``) to the single original carrying the
+        flush thread's traceback.
+        """
+        server = PredictionServer(
+            artifact, dataset.schema, max_wait_s=None, background_flush=False
+        )
+        rows = _label_rows(server, dataset, 2)
+        handles = [server.submit(r) for r in rows]
+
+        def explode(X):
+            raise RuntimeError("model meltdown")
+
+        monkeypatch.setattr(server.artifact, "predict_codes", explode)
+        with pytest.raises(RuntimeError, match="model meltdown"):
+            server.flush()
+        caught = [None, None]
+        ready = threading.Barrier(2)
+
+        def claim(index):
+            ready.wait(timeout=30.0)
+            try:
+                handles[index].result()
+            except RuntimeError as error:
+                caught[index] = error
+
+        _run_clients(2, claim)
+        first, second = caught
+        assert isinstance(first, RuntimeError)
+        assert isinstance(second, RuntimeError)
+        assert "model meltdown" in str(first)
+        assert first is not second
+        assert first.__traceback__ is not second.__traceback__
+        # Both copies chain back to the one original failure, which
+        # still carries the flush thread's traceback.
+        assert first.__cause__ is not None
+        assert first.__cause__ is second.__cause__
+
 
 class TestStatsUnderLoad:
     def test_stats_snapshots_stay_consistent_mid_load(self, artifact, dataset):
