@@ -43,7 +43,7 @@ from repro.data.spec import SourceSpec
 from repro.datasets import generate_real_world
 from repro.experiments.config import get_scale
 from repro.experiments.runner import make_streaming_model
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, machine_info
 from repro.resilience import (
     CheckpointManager,
     FaultInjectingSource,
@@ -189,6 +189,7 @@ def main(argv=None) -> int:
         parser.error(f"--fault-rate must be in (0, 1], got {args.fault_rate}")
 
     report = run(args)
+    report["machine"] = machine_info()
     rendered = json.dumps(report, indent=2)
     print(rendered)
     if args.out:

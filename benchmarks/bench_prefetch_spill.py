@@ -41,6 +41,7 @@ import numpy as np
 from repro.core.strategies import join_all_strategy
 from repro.data import PrefetchingSource, SpillCacheSource
 from repro.ml.linear import L1LogisticRegression
+from repro.obs import machine_info
 from repro.rng import ensure_rng
 from repro.streaming import ShardedDataset, StreamingMatrices
 
@@ -168,6 +169,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report = run(args)
+    report["machine"] = machine_info()
     rendered = json.dumps(report, indent=2)
     print(rendered)
     if args.out:

@@ -51,6 +51,7 @@ from repro.core import join_all_strategy
 from repro.datasets import OneXrScenario, generate_real_world
 from repro.experiments import get_scale
 from repro.ml import L1LogisticRegression
+from repro.obs import machine_info
 from repro.parallel import ProcessFISTAPasses
 from repro.serving import concurrent_serving_throughput
 from repro.streaming import ShardedDataset, StreamingMatrices
@@ -198,6 +199,7 @@ def main(argv=None) -> int:
         "platform": platform.platform(),
         "python": platform.python_version(),
         "start_method_env": os.environ.get("REPRO_MP_START_METHOD"),
+        "machine": machine_info(),
         "serving": serving,
         "epochs": epochs,
     }

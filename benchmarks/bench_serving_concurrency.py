@@ -43,6 +43,7 @@ import sys
 
 from repro.datasets import generate_real_world
 from repro.experiments import get_scale
+from repro.obs import machine_info
 from repro.serving import concurrent_serving_throughput
 
 
@@ -133,6 +134,7 @@ def main(argv=None) -> int:
         parser.error(f"--clients must be >= 1, got {args.clients}")
 
     results = run(args)
+    results["machine"] = machine_info()
     with open(args.out, "w") as handle:
         json.dump(results, handle, indent=2)
         handle.write("\n")

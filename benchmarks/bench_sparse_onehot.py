@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.ml.encoding import CategoricalMatrix
 from repro.ml.linear import L1LogisticRegression
+from repro.obs import machine_info
 from repro.rng import ensure_rng
 
 EQUIVALENCE_ATOL = 1e-10
@@ -195,6 +196,7 @@ def main(argv=None) -> int:
     results, ok = run(
         args.sizes, args.rows, args.max_iter, args.dense_limit, seed=args.seed
     )
+    results["machine"] = machine_info()
     with open(args.out, "w") as handle:
         json.dump(results, handle, indent=2)
     print(f"wrote {args.out}")

@@ -60,7 +60,7 @@ from repro.rng import ensure_rng
 from repro.datasets import generate_real_world
 from repro.experiments import get_scale
 from repro.experiments.runner import fit_pipeline
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, machine_info
 from repro.serving import PredictionServer, artifact_from_pipeline
 from repro.serving.benchmark import _request_stream
 
@@ -361,6 +361,7 @@ def main(argv=None) -> int:
         f"on the batched path: "
         f"{'ok' if results['within_budget'] else 'EXCEEDED'}"
     )
+    results["machine"] = machine_info()
     with open(args.out, "w") as handle:
         json.dump(results, handle, indent=2)
         handle.write("\n")

@@ -1,0 +1,103 @@
+"""``engine-conformance``: execution-engine matrices carry a full surface.
+
+The kernel dispatchers in :mod:`repro.ml.sparse` route ``matmul`` /
+``rmatmul`` by type, and everything downstream of them — FISTA's
+column scaling, NB's count accumulation, the telemetry that sizes
+shard transport — assumes an execution-engine matrix also answers
+``nbytes`` and the column-stats calls.  A class that ships the two
+kernels but not the rest works until a trainer touches the missing
+member mid-epoch.  This rule makes the contract static: any class
+defining **both** ``matmul`` and ``rmatmul`` as concrete methods is an
+execution-engine matrix and must statically provide ``nbytes``,
+``column_counts``, ``column_means`` and ``column_scales`` (own body or
+a base class resolvable in the scanned tree).
+
+Protocol-definition classes (any required member declaration-only — a
+bare annotation or a ``raise NotImplementedError`` body) are skipped,
+exactly as in the ``feature-source`` rule.  Linear-algebra helpers
+that happen to expose both kernels without being an engine are the
+legitimate use of ``# repro: lint-ignore[engine-conformance]`` with a
+justifying comment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.engine import ClassInfo, Project, Rule
+from repro.analysis.findings import Finding
+
+__all__ = ["EngineConformanceRule", "ENGINE_KERNELS", "ENGINE_SURFACE"]
+
+#: Defining both (concretely) marks a class as an execution engine.
+ENGINE_KERNELS = ("matmul", "rmatmul")
+
+#: What every execution-engine matrix must additionally provide.
+ENGINE_SURFACE = (
+    "nbytes",
+    "column_counts",
+    "column_means",
+    "column_scales",
+)
+
+_DECLARATION_KINDS = ("annotation", "abstract")
+
+
+class EngineConformanceRule(Rule):
+    id = "engine-conformance"
+    description = (
+        "classes exposing matmul and rmatmul as execution-engine kernels"
+        " must statically define nbytes, column_counts, column_means,"
+        " column_scales"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for info in project.iter_classes():
+            if not all(
+                self._concrete(project, info, kernel, set())
+                for kernel in ENGINE_KERNELS
+            ):
+                continue
+            if any(
+                info.members.get(member) in _DECLARATION_KINDS
+                for member in ENGINE_KERNELS + ENGINE_SURFACE
+            ):
+                continue  # protocol definition, not an implementation
+            missing = [
+                member
+                for member in ENGINE_SURFACE
+                if not self._concrete(project, info, member, set())
+            ]
+            if missing:
+                findings.append(
+                    info.module.finding(
+                        self.id,
+                        info.lineno,
+                        f"class {info.name!r} exposes matmul/rmatmul as an"
+                        " execution engine but does not statically define:"
+                        f" {', '.join(missing)}",
+                    )
+                )
+        return findings
+
+    def _concrete(
+        self,
+        project: Project,
+        info: ClassInfo,
+        member: str,
+        visiting: set[int],
+    ) -> bool:
+        key = id(info.node)
+        if key in visiting:
+            return False
+        visiting.add(key)
+        if info.members.get(member) in ("def", "property", "assign"):
+            return True
+        for base in info.bases:
+            base_info = project.resolve_class(base)
+            if base_info is not None and self._concrete(
+                project, base_info, member, visiting
+            ):
+                return True
+        return False

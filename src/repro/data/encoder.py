@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.errors import SchemaError
 from repro.ml.encoding import CategoricalMatrix, check_code_ranges
+from repro.ml.sparse import FactorizedGroup, FactorizedMatrix
 from repro.obs import MetricsRegistry, trace
 from repro.relational.join import dimension_row_index, resolve_dimension_rows
 from repro.relational.schema import StarSchema
@@ -222,6 +223,9 @@ class ShardEncoder:
         self.cache = DimensionIndexCache(
             schema, capacity=cache_capacity, registry=self.metrics
         )
+        # (|D|, d_R) code blocks for factorized assembly, stacked once
+        # per dimension (see _dimension_block).
+        self._block_cache: dict[str, np.ndarray] = {}
         self.feature_names: tuple[str, ...] = tuple(strategy.feature_names(schema))
         self.joined_dimensions: tuple[str, ...] = tuple(
             strategy.joined_dimensions(schema)
@@ -371,6 +375,121 @@ class ShardEncoder:
             validate=False,
         )
 
+    def assemble_factorized(
+        self, fact_codes: Mapping[str, np.ndarray]
+    ) -> FactorizedMatrix:
+        """Assemble pre-encoded fact columns *without* the dimension gather.
+
+        The factorized sibling of :meth:`assemble`: fact feature columns
+        are stacked exactly as there and each joined dimension's FK is
+        resolved to dimension rows once (the same ``O(n)``
+        :func:`~repro.relational.join.resolve_dimension_rows` call, with
+        the same :class:`~repro.errors.ReferentialIntegrityError` on
+        dangling keys) — but the per-feature
+        ``feature_codes[feature][dim_rows]`` gather is skipped entirely.
+        Instead the dimension's cached per-feature code columns are
+        stacked once into a ``(|D|, d_R)`` block (memoised per
+        dimension, so steady-state assembly does zero per-dimension-row
+        work) and handed to the :class:`~repro.ml.sparse.FactorizedMatrix`
+        along with the resolved rows.
+        """
+        n = None
+        for column, codes in fact_codes.items():
+            codes = np.asarray(codes)
+            if n is None:
+                n = codes.shape[0]
+            elif codes.shape[0] != n:
+                raise SchemaError(
+                    f"ragged request batch: column {column!r} has "
+                    f"{codes.shape[0]} rows, expected {n}"
+                )
+        if n is None:
+            raise ValueError("cannot assemble an empty request batch")
+
+        entries: dict[str, _DimensionIndex] = {}
+        dim_rows: dict[str, np.ndarray] = {}
+        group_positions: dict[str, list[int]] = {}
+        group_features: dict[str, list[str]] = {}
+        fact_positions: list[int] = []
+        fact_columns: list[np.ndarray] = []
+        for position, feature in enumerate(self.feature_names):
+            owner = self._foreign_of.get(feature)
+            if owner is None:
+                try:
+                    codes = np.asarray(fact_codes[feature], dtype=np.int64)
+                except KeyError:
+                    raise SchemaError(
+                        f"request batch lacks fact column {feature!r}"
+                    ) from None
+                check_code_ranges(
+                    codes[:, np.newaxis],
+                    (self.n_levels[position],),
+                    (feature,),
+                )
+                fact_positions.append(position)
+                fact_columns.append(codes)
+            else:
+                name, fk = owner
+                if name not in entries:
+                    entries[name] = self.cache.get(name)
+                    try:
+                        fk_codes = np.asarray(fact_codes[fk], dtype=np.int64)
+                    except KeyError:
+                        raise SchemaError(
+                            f"request batch lacks foreign key {fk!r} needed "
+                            f"to resolve dimension {name!r}"
+                        ) from None
+                    dim_rows[name] = resolve_dimension_rows(
+                        self.schema,
+                        name,
+                        fk_codes,
+                        row_of_code=entries[name].row_of_code,
+                    )
+                group_positions.setdefault(name, []).append(position)
+                group_features.setdefault(name, []).append(feature)
+        groups = [
+            FactorizedGroup(
+                name,
+                np.asarray(group_positions[name], dtype=np.int64),
+                dim_rows[name],
+                self._dimension_block(
+                    name, entries[name], group_features[name]
+                ),
+            )
+            for name in group_positions
+        ]
+        stacked = (
+            np.stack(fact_columns, axis=1)
+            if fact_columns
+            else np.zeros((n, 0), dtype=np.int64)
+        )
+        return FactorizedMatrix(
+            self.feature_names,
+            self.n_levels,
+            np.asarray(fact_positions, dtype=np.int64),
+            stacked,
+            groups,
+        )
+
+    def _dimension_block(
+        self, name: str, entry: _DimensionIndex, features: list[str]
+    ) -> np.ndarray:
+        """The dimension's ``(|D|, d_R)`` code block, memoised by name.
+
+        Stacking the cached per-feature code columns costs
+        ``O(|D|·d_R)`` once; afterwards a factorized assembly does no
+        per-dimension-row work at all.  Entries are immutable and the
+        stack is deterministic, so racing threads writing the same key
+        is benign.
+        """
+        block = self._block_cache.get(name)
+        if block is None:
+            block = np.stack(
+                [entry.feature_codes[feature] for feature in features], axis=1
+            ).astype(np.int64, copy=False)
+            self._block_cache[name] = block
+        return block
+
     def assemble_table(self, fact_rows: Table) -> CategoricalMatrix:
         """Assemble features for rows shaped like the fact table."""
         return self.assemble(
@@ -399,6 +518,34 @@ class ShardEncoder:
         with trace("encode.shard", merge=True):
             encoded = (
                 self.assemble_table(fact_rows),
+                fact_rows.codes(self.schema.target),
+            )
+        self._encode_seconds.observe(time.perf_counter() - started)
+        self._encoded_shards.inc()
+        self._encoded_rows.inc(len(fact_rows))
+        return encoded
+
+    def encode_shard_factorized(
+        self, fact_rows: Table
+    ) -> tuple[FactorizedMatrix, np.ndarray]:
+        """One block of fact rows as a factorized ``(X, y)`` pair.
+
+        :meth:`encode_shard` with the gather skipped: same required
+        columns, same referential-integrity errors, same telemetry
+        (``data.encode.shard_s`` histogram and merged ``encode.shard``
+        span), but the features come back as a
+        :class:`~repro.ml.sparse.FactorizedMatrix` whose per-shard cost
+        is ``O(n)`` past the memoised dimension blocks.
+        """
+        started = time.perf_counter()
+        with trace("encode.shard", merge=True):
+            encoded = (
+                self.assemble_factorized(
+                    {
+                        column: fact_rows.codes(column)
+                        for column in self.required_columns
+                    }
+                ),
                 fact_rows.codes(self.schema.target),
             )
         self._encode_seconds.observe(time.perf_counter() - started)

@@ -28,9 +28,12 @@ def check_fitted(estimator: "Estimator", attribute: str) -> None:
 
 def check_X_y(X: CategoricalMatrix, y: np.ndarray) -> np.ndarray:
     """Validate a feature matrix / label vector pair, returning clean labels."""
-    if not isinstance(X, CategoricalMatrix):
+    from repro.ml.sparse import FactorizedMatrix
+
+    if not isinstance(X, (CategoricalMatrix, FactorizedMatrix)):
         raise TypeError(
-            f"estimators consume CategoricalMatrix, got {type(X).__name__}"
+            f"estimators consume CategoricalMatrix or FactorizedMatrix, "
+            f"got {type(X).__name__}"
         )
     y = np.asarray(y, dtype=np.int64)
     if y.ndim != 1:

@@ -1,4 +1,4 @@
-"""Implicit one-hot execution engine: sparse categorical linear algebra.
+"""Sparse categorical execution engines: implicit one-hot and factorized.
 
 A one-hot encoded categorical matrix has exactly one nonzero per feature
 per row, so every product the numeric models compute against it is a
@@ -27,10 +27,26 @@ the paper's foreign keys with domains in the thousands to millions this
 is the difference between training being dominated by multiplying zeros
 and running at code-array speed.
 
-Every numeric model accepts ``engine="implicit"`` (the default) or
-``engine="dense"``; the module-level :func:`matmul` / :func:`rmatmul` /
-:func:`take_rows` helpers dispatch on the operand type so model code is
-written once for both paths, and tests assert the paths agree to 1e-10.
+:class:`FactorizedMatrix` goes one step further and factorizes the KFK
+*join* itself out of the hot path.  The implicit engine still stores a
+gathered ``(n, d)`` code table, so every kernel pass re-touches each
+fact row's copy of its dimension row — ``O(n·d)`` work even though a
+joined dimension has only ``|D|`` distinct rows.  The factorized layout
+keeps the fact-local code columns as ``(n, d_fact)`` plus, per joined
+dimension, one ``(n,)`` FK-resolved row vector and one ``(|D|, d_R)``
+code block; kernels run the per-dimension work once over the block
+(``O(|D|·d_R)``) and touch the fact rows only through a single gather
+or ``bincount`` by FK code (``O(n)`` per dimension).  Total per pass:
+``O(n + |D|·d_R)`` instead of ``O(n·d)`` — the win grows with the
+``n/|D|`` fan-out, exactly the regime where the paper's join-avoidance
+question bites.
+
+Every numeric model accepts ``engine="implicit"`` (the default),
+``engine="dense"``, or ``engine="factorized"``; the module-level
+:func:`matmul` / :func:`rmatmul` / :func:`take_rows` helpers dispatch on
+the operand type so model code is written once for all paths, and tests
+assert the paths agree to 1e-10 (bit-identical where summation order
+is unchanged).
 """
 
 from __future__ import annotations
@@ -40,7 +56,7 @@ import numpy as np
 from repro.ml.encoding import CategoricalMatrix
 
 #: Execution engines accepted by the numeric models.
-ENGINES = ("implicit", "dense")
+ENGINES = ("implicit", "dense", "factorized")
 
 
 def check_engine(engine: str) -> str:
@@ -160,8 +176,8 @@ class OneHotMatrix:
         """``X.T @ V`` for ``V`` of shape ``(n,)`` or ``(n, k)``.
 
         Scatter-adds each example's value(s) into the one-hot columns
-        its codes select — a weighted ``bincount`` for vectors, a
-        per-feature ``np.add.at`` for matrices.
+        its codes select — a weighted ``bincount`` per operand column
+        (``np.add.at`` is an order of magnitude slower on this shape).
         """
         V = np.asarray(V, dtype=np.float64)
         if V.shape[0] != self.n_rows:
@@ -176,10 +192,25 @@ class OneHotMatrix:
             return np.bincount(
                 flat.ravel(), weights=weights, minlength=self.width
             )
-        out = np.zeros((self.width,) + V.shape[1:], dtype=np.float64)
-        for j in range(self.n_features):
-            np.add.at(out, flat[:, j], V)
-        return out
+        # One-hot blocks are disjoint per feature, so every output slot
+        # accumulates its contributions in row order under both the
+        # flat bincount and the old per-feature scatter — the results
+        # are bit-identical, the bincount is just much faster.  The
+        # trailing dimension is explicit: reshape(n, -1) cannot infer
+        # -1 for a 0-row operand (empty shards are legal).
+        flat_all = flat.ravel()
+        V2 = V.reshape(V.shape[0], int(np.prod(V.shape[1:])))
+        out = np.empty((self.width, V2.shape[1]), dtype=np.float64)
+        for column in range(V2.shape[1]):
+            weights = (
+                V2[:, column]
+                if self.n_features == 1
+                else np.repeat(V2[:, column], self.n_features)
+            )
+            out[:, column] = np.bincount(
+                flat_all, weights=weights, minlength=self.width
+            )
+        return out.reshape((self.width,) + V.shape[1:])
 
     def match_counts(
         self, other: "OneHotMatrix", chunk_size: int = 512
@@ -271,37 +302,473 @@ class OneHotMatrix:
         )
 
 
+class FactorizedGroup:
+    """One joined dimension's share of a :class:`FactorizedMatrix`.
+
+    Parameters
+    ----------
+    name:
+        The dimension's name (matches the schema / encoder naming so
+        serving can pair groups with model-load precomputations).
+    positions:
+        Feature positions (indexes into the matrix's ``names``) of this
+        dimension's foreign features, in feature order.
+    dim_rows:
+        ``(n,)`` FK-resolved dimension row per fact row.
+    block:
+        ``(n_dim_rows, len(positions))`` code block: column ``c`` holds
+        the codes of feature ``positions[c]`` for every dimension row.
+    """
+
+    __slots__ = ("name", "positions", "dim_rows", "block")
+
+    def __init__(
+        self,
+        name: str,
+        positions: np.ndarray,
+        dim_rows: np.ndarray,
+        block: np.ndarray,
+    ):
+        self.name = name
+        self.positions = np.asarray(positions, dtype=np.int64)
+        self.dim_rows = np.asarray(dim_rows, dtype=np.int64)
+        self.block = np.asarray(block, dtype=np.int64)
+        if self.block.ndim != 2 or self.block.shape[1] != len(self.positions):
+            raise ValueError(
+                f"group {name!r} block has shape {self.block.shape}, "
+                f"expected (n_dim_rows, {len(self.positions)})"
+            )
+
+    @property
+    def n_dim_rows(self) -> int:
+        """Distinct dimension rows the block covers, ``|D|``."""
+        return self.block.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return int(
+            self.positions.nbytes + self.dim_rows.nbytes + self.block.nbytes
+        )
+
+    def take_rows(self, rows: np.ndarray | slice) -> "FactorizedGroup":
+        """The group restricted to a fact-row subset (block is shared)."""
+        group = object.__new__(FactorizedGroup)
+        group.name = self.name
+        group.positions = self.positions
+        group.dim_rows = self.dim_rows[rows]
+        group.block = self.block
+        return group
+
+    def __repr__(self) -> str:
+        return (
+            f"FactorizedGroup({self.name!r}, d_R={len(self.positions)}, "
+            f"n_dim_rows={self.n_dim_rows})"
+        )
+
+
+class FactorizedMatrix:
+    """A KFK-factorized encoded shard: fact codes + per-dimension blocks.
+
+    Where :class:`OneHotMatrix` views one gathered ``(n, d)`` code
+    table, this keeps the join factorized: the fact-local feature
+    columns as ``(n, d_fact)`` codes, and per joined dimension a
+    :class:`FactorizedGroup` holding the ``(n,)`` resolved dimension
+    rows plus the dimension's ``(|D|, d_R)`` code block.  The column
+    layout (``names`` / ``n_levels`` / ``offsets``) is identical to the
+    gathered matrix's one-hot layout, so every kernel here computes the
+    same value the implicit engine would — it just never expands the
+    dimension side per fact row:
+
+    - :meth:`matmul` runs ``O(|D|·d_R)`` per dimension over the block,
+      then one ``O(n)`` gather by resolved row;
+    - :meth:`rmatmul` reduces the operand to per-dimension-row totals
+      with one ``O(n)`` ``bincount``, then scatters the ``(|D|,)``
+      totals through the block;
+    - :meth:`column_counts` multiplies per-dimension-row group *sizes*
+      into the block's level counts (integer-exact);
+    - :meth:`gather` / :meth:`toarray` are the escape hatches back to
+      the gathered representations for kernels that genuinely need
+      per-row codes (Gram blocks, distances).
+
+    Float results match the implicit engine to 1e-10 (summation
+    grouping differs); integer-valued results are bit-identical.  A
+    matrix with no groups (see :meth:`from_categorical`) degenerates to
+    the implicit engine's exact arithmetic, bit for bit.
+    """
+
+    __slots__ = (
+        "names",
+        "n_levels",
+        "offsets",
+        "fact_positions",
+        "fact_codes",
+        "groups",
+        "_fact_flat",
+    )
+
+    def __init__(
+        self,
+        names,
+        n_levels,
+        fact_positions: np.ndarray,
+        fact_codes: np.ndarray,
+        groups,
+    ):
+        self.names = tuple(names)
+        self.n_levels = tuple(int(k) for k in n_levels)
+        self.offsets = np.concatenate(
+            ([0], np.cumsum(self.n_levels))
+        ).astype(np.int64)
+        self.fact_positions = np.asarray(fact_positions, dtype=np.int64)
+        self.fact_codes = np.asarray(fact_codes, dtype=np.int64)
+        self.groups = tuple(groups)
+        self._fact_flat: np.ndarray | None = None
+        if self.fact_codes.ndim != 2:
+            raise ValueError(
+                f"fact_codes must be 2-D (n, d_fact), got shape "
+                f"{self.fact_codes.shape}"
+            )
+        if self.fact_codes.shape[1] != len(self.fact_positions):
+            raise ValueError(
+                f"fact_codes has {self.fact_codes.shape[1]} columns for "
+                f"{len(self.fact_positions)} fact positions"
+            )
+        covered = np.concatenate(
+            [self.fact_positions] + [g.positions for g in self.groups]
+        )
+        if (
+            len(covered) != len(self.names)
+            or len(np.unique(covered)) != len(self.names)
+            or (len(covered) and (covered.min() < 0 or covered.max() >= len(self.names)))
+        ):
+            raise ValueError(
+                "fact_positions and group positions must partition "
+                f"range({len(self.names)}); got {sorted(covered.tolist())}"
+            )
+        n = self.fact_codes.shape[0]
+        for group in self.groups:
+            if group.dim_rows.shape != (n,):
+                raise ValueError(
+                    f"group {group.name!r} has {group.dim_rows.shape[0]} "
+                    f"dim_rows, expected {n}"
+                )
+
+    @classmethod
+    def from_categorical(cls, source: CategoricalMatrix) -> "FactorizedMatrix":
+        """The degenerate all-fact factorization of a gathered matrix.
+
+        With no groups every kernel runs the implicit engine's exact
+        arithmetic, so ``engine="factorized"`` on an already-gathered
+        matrix is bit-identical to ``engine="implicit"`` — in-memory
+        callers pay nothing for asking for the factorized engine.
+        """
+        codes = np.ascontiguousarray(source.codes, dtype=np.int64)
+        return cls(
+            tuple(source.names),
+            tuple(source.n_levels),
+            np.arange(codes.shape[1], dtype=np.int64),
+            codes,
+            (),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Number of examples (fact rows)."""
+        return self.fact_codes.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Number of categorical features across fact and dimensions."""
+        return len(self.names)
+
+    @property
+    def onehot_width(self) -> int:
+        """Width of the implied one-hot encoding (API parity with
+        :class:`~repro.ml.encoding.CategoricalMatrix`)."""
+        return int(self.offsets[-1])
+
+    @property
+    def width(self) -> int:
+        """Width of the implied one-hot encoding, ``sum(n_levels)``."""
+        return int(self.offsets[-1])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape of the implied dense matrix, ``(n, width)``."""
+        return (self.n_rows, self.width)
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes: fact codes, offsets, groups, flat-code cache.
+
+        The number to compare against the implicit engine's
+        ``n·d·8``-byte gathered code table — the factorized layout is
+        smaller by roughly the dimension fan-out.
+        """
+        flat = self._fact_flat.nbytes if self._fact_flat is not None else 0
+        return int(
+            self.fact_codes.nbytes
+            + self.fact_positions.nbytes
+            + self.offsets.nbytes
+            + sum(g.nbytes for g in self.groups)
+            + flat
+        )
+
+    def _fact_flat_codes(self) -> np.ndarray:
+        """Fact codes shifted into one-hot column positions, cached."""
+        if self._fact_flat is None:
+            self._fact_flat = (
+                self.fact_codes
+                + self.offsets[self.fact_positions][np.newaxis, :]
+            )
+        return self._fact_flat
+
+    def take_rows(self, rows: np.ndarray | slice) -> "FactorizedMatrix":
+        """A subset of examples: fact codes and per-group dimension rows
+        are sliced, the dimension blocks are shared."""
+        if not isinstance(rows, slice):
+            rows = np.asarray(rows)
+            if rows.dtype == bool:
+                rows = np.flatnonzero(rows)
+        view = object.__new__(FactorizedMatrix)
+        view.names = self.names
+        view.n_levels = self.n_levels
+        view.offsets = self.offsets
+        view.fact_positions = self.fact_positions
+        view.fact_codes = self.fact_codes[rows]
+        view.groups = tuple(g.take_rows(rows) for g in self.groups)
+        view._fact_flat = None
+        return view
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def matmul(self, W: np.ndarray) -> np.ndarray:
+        """``X @ W`` with per-dimension work on the block, not the rows.
+
+        The fact part is the implicit engine's gather-sum; each
+        dimension contributes ``block @ w`` evaluated once over its
+        ``|D|`` rows and broadcast to the fact rows by one gather.
+        """
+        W = np.asarray(W, dtype=np.float64)
+        if W.shape[0] != self.width:
+            raise ValueError(
+                f"operand has {W.shape[0]} rows, expected width {self.width}"
+            )
+        out = np.zeros((self.n_rows,) + W.shape[1:], dtype=np.float64)
+        if len(self.fact_positions):
+            flat = self._fact_flat_codes()
+            if W.ndim == 1:
+                out += W[flat].sum(axis=1)
+            else:
+                for j in range(flat.shape[1]):
+                    out += W[flat[:, j]]
+        for group in self.groups:
+            contrib = np.zeros(
+                (group.n_dim_rows,) + W.shape[1:], dtype=np.float64
+            )
+            for c, position in enumerate(group.positions):
+                contrib += W[group.block[:, c] + self.offsets[position]]
+            out += contrib[group.dim_rows]
+        return out
+
+    def rmatmul(self, V: np.ndarray) -> np.ndarray:
+        """``X.T @ V`` via one ``bincount`` by dimension row per group.
+
+        The operand collapses to per-dimension-row totals first
+        (``O(n)``), then those ``(|D|,)`` totals scatter through the
+        block (``O(|D|·d_R)``) — the gradient never re-touches each
+        fact row's copy of its dimension features.
+        """
+        V = np.asarray(V, dtype=np.float64)
+        if V.shape[0] != self.n_rows:
+            raise ValueError(
+                f"operand has {V.shape[0]} rows, expected {self.n_rows}"
+            )
+        if self.n_features == 0:
+            return np.zeros((0,) + V.shape[1:], dtype=np.float64)
+        # An explicit trailing dimension: reshape(n, -1) cannot infer
+        # -1 for a 0-row operand (empty shards are legal).
+        k = 1 if V.ndim == 1 else int(np.prod(V.shape[1:]))
+        V2 = V.reshape(V.shape[0], k)
+        out = np.zeros((self.width, V2.shape[1]), dtype=np.float64)
+        d_fact = len(self.fact_positions)
+        if d_fact:
+            flat_all = self._fact_flat_codes().ravel()
+            for column in range(V2.shape[1]):
+                weights = (
+                    V2[:, column]
+                    if d_fact == 1
+                    else np.repeat(V2[:, column], d_fact)
+                )
+                out[:, column] += np.bincount(
+                    flat_all, weights=weights, minlength=self.width
+                )
+        for group in self.groups:
+            totals = np.empty(
+                (group.n_dim_rows, V2.shape[1]), dtype=np.float64
+            )
+            for column in range(V2.shape[1]):
+                totals[:, column] = np.bincount(
+                    group.dim_rows,
+                    weights=V2[:, column],
+                    minlength=group.n_dim_rows,
+                )
+            for c, position in enumerate(group.positions):
+                offset = int(self.offsets[position])
+                n_levels = self.n_levels[position]
+                for column in range(V2.shape[1]):
+                    out[offset : offset + n_levels, column] += np.bincount(
+                        group.block[:, c],
+                        weights=totals[:, column],
+                        minlength=n_levels,
+                    )
+        return out.reshape((self.width,) + V.shape[1:])
+
+    def match_counts(self, other, chunk_size: int = 512) -> np.ndarray:
+        """Pairwise matching-feature counts, via the gathered view.
+
+        Gram blocks need per-row code comparisons, so this is one of
+        the two kernels that genuinely gathers (the other is
+        :meth:`squared_distances`); SVM/k-NN callers wanting the
+        factorized win should stay on matmul/rmatmul-shaped paths.
+        """
+        if isinstance(other, FactorizedMatrix):
+            other = other.gather().onehot_view()
+        return self.gather().onehot_view().match_counts(
+            other, chunk_size=chunk_size
+        )
+
+    def squared_distances(self, other, chunk_size: int = 512) -> np.ndarray:
+        """Pairwise squared Euclidean distances in one-hot space."""
+        return 2.0 * (
+            self.n_features - self.match_counts(other, chunk_size=chunk_size)
+        )
+
+    # ------------------------------------------------------------------
+    # Column statistics (preprocessing)
+    # ------------------------------------------------------------------
+    def column_counts(self) -> np.ndarray:
+        """Occurrences of each one-hot column from per-group sizes.
+
+        Each dimension needs only its FK group sizes (one ``bincount``
+        over the resolved rows) scattered through the block — integer
+        arithmetic, bit-identical to the implicit engine's full scan.
+        """
+        out = np.zeros(self.width, dtype=np.float64)
+        if self.n_features == 0:
+            return np.zeros(0, dtype=np.float64)
+        if len(self.fact_positions):
+            out += np.bincount(
+                self._fact_flat_codes().ravel(), minlength=self.width
+            )
+        for group in self.groups:
+            sizes = np.bincount(
+                group.dim_rows, minlength=group.n_dim_rows
+            ).astype(np.float64)
+            for c, position in enumerate(group.positions):
+                offset = int(self.offsets[position])
+                n_levels = self.n_levels[position]
+                out[offset : offset + n_levels] += np.bincount(
+                    group.block[:, c], weights=sizes, minlength=n_levels
+                )
+        return out
+
+    def column_means(self) -> np.ndarray:
+        """Mean of each one-hot column (level occurrence rates)."""
+        if self.n_rows == 0:
+            return np.zeros(self.width, dtype=np.float64)
+        return self.column_counts() / self.n_rows
+
+    def column_scales(self) -> np.ndarray:
+        """Standard deviation of each (Bernoulli) one-hot column."""
+        p = self.column_means()
+        return np.sqrt(p * (1.0 - p))
+
+    # ------------------------------------------------------------------
+    # Gathered escape hatches
+    # ------------------------------------------------------------------
+    def gather(self) -> CategoricalMatrix:
+        """Materialise the gathered ``(n, d)`` categorical matrix.
+
+        The ``O(n·d_R)`` per-dimension gather the factorized kernels
+        exist to avoid — only escape hatches (Gram blocks, dense
+        conversion, engine downgrades) pay it.
+        """
+        codes = np.empty((self.n_rows, self.n_features), dtype=np.int64)
+        if len(self.fact_positions):
+            codes[:, self.fact_positions] = self.fact_codes
+        for group in self.groups:
+            codes[:, group.positions] = group.block[group.dim_rows]
+        return CategoricalMatrix(
+            codes, self.n_levels, self.names, validate=False
+        )
+
+    def toarray(self) -> np.ndarray:
+        """Materialise the dense one-hot equivalent (via the gather)."""
+        return self.gather().onehot_view().toarray()
+
+    def __repr__(self) -> str:
+        return (
+            f"FactorizedMatrix(n={self.n_rows}, d={self.n_features}, "
+            f"d_fact={len(self.fact_positions)}, "
+            f"groups={[g.name for g in self.groups]}, width={self.width})"
+        )
+
+
 # ----------------------------------------------------------------------
 # Engine dispatch
 # ----------------------------------------------------------------------
 def encode_features(
-    X: CategoricalMatrix, engine: str = "implicit"
-) -> OneHotMatrix | np.ndarray:
-    """Encode a feature matrix under the chosen execution engine."""
+    X: "CategoricalMatrix | FactorizedMatrix", engine: str = "implicit"
+) -> "OneHotMatrix | FactorizedMatrix | np.ndarray":
+    """Encode a feature matrix under the chosen execution engine.
+
+    A :class:`FactorizedMatrix` shard passes straight through under the
+    factorized engine; under implicit/dense it is gathered first, so a
+    factorized-encoded stream still feeds engine-mismatched models
+    correctly (at the gather's cost).  A gathered
+    :class:`~repro.ml.encoding.CategoricalMatrix` under the factorized
+    engine becomes the degenerate all-fact factorization, which is
+    bit-identical to the implicit engine.
+    """
     check_engine(engine)
+    if isinstance(X, FactorizedMatrix):
+        if engine == "factorized":
+            return X
+        X = X.gather()
+    if engine == "factorized":
+        return FactorizedMatrix.from_categorical(X)
     if engine == "implicit":
         return OneHotMatrix(X)
     return X.onehot()
 
 
-def matmul(A: OneHotMatrix | np.ndarray, W: np.ndarray) -> np.ndarray:
-    """``A @ W`` for either engine's operand."""
-    if isinstance(A, OneHotMatrix):
+def matmul(
+    A: "OneHotMatrix | FactorizedMatrix | np.ndarray", W: np.ndarray
+) -> np.ndarray:
+    """``A @ W`` for any engine's operand."""
+    if isinstance(A, (OneHotMatrix, FactorizedMatrix)):
         return A.matmul(W)
     return A @ W
 
 
-def rmatmul(A: OneHotMatrix | np.ndarray, V: np.ndarray) -> np.ndarray:
-    """``A.T @ V`` for either engine's operand."""
-    if isinstance(A, OneHotMatrix):
+def rmatmul(
+    A: "OneHotMatrix | FactorizedMatrix | np.ndarray", V: np.ndarray
+) -> np.ndarray:
+    """``A.T @ V`` for any engine's operand."""
+    if isinstance(A, (OneHotMatrix, FactorizedMatrix)):
         return A.rmatmul(V)
     return A.T @ V
 
 
 def take_rows(
-    A: OneHotMatrix | np.ndarray, rows: np.ndarray | slice
-) -> OneHotMatrix | np.ndarray:
-    """Row subset of either engine's operand."""
-    if isinstance(A, OneHotMatrix):
+    A: "OneHotMatrix | FactorizedMatrix | np.ndarray", rows: np.ndarray | slice
+) -> "OneHotMatrix | FactorizedMatrix | np.ndarray":
+    """Row subset of any engine's operand."""
+    if isinstance(A, (OneHotMatrix, FactorizedMatrix)):
         return A.take_rows(rows)
     return A[rows]

@@ -23,6 +23,7 @@ over these registries — one bookkeeping substrate, many surfaces.
 """
 
 from repro.obs.console import emit
+from repro.obs.machine import machine_info
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -40,6 +41,7 @@ __all__ = [
     "Span",
     "Tracer",
     "emit",
+    "machine_info",
     "registry",
     "trace",
     "tracer",

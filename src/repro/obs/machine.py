@@ -1,0 +1,40 @@
+"""Machine metadata stamped into benchmark result files.
+
+A throughput or speedup number is only interpretable next to the
+machine that produced it: a "3x factorized win" measured on 2 cores
+and the same sweep on 32 are different experiments.  Every
+``benchmarks/bench_*.py`` writer embeds :func:`machine_info` in its
+``BENCH_*.json`` so committed results carry their own provenance.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+
+__all__ = ["machine_info"]
+
+
+def machine_info() -> dict:
+    """CPU/platform/runtime facts as a JSON-compatible dict.
+
+    ``cpu_affinity`` is the number of CPUs the process may actually
+    run on (``sched_getaffinity``), which on cgroup-limited containers
+    is the honest parallelism bound; it falls back to ``cpu_count``
+    where the call doesn't exist (macOS, Windows).
+    """
+    import numpy
+
+    cpu_count = os.cpu_count() or 1
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        affinity = cpu_count
+    return {
+        "cpu_count": cpu_count,
+        "cpu_affinity": affinity,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+    }

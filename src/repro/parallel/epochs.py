@@ -81,10 +81,35 @@ def _shard_score(
     return int((predicted == np.asarray(y)).sum()), int(y.shape[0])
 
 
+def _pack_shard(index: int, X, y) -> tuple:
+    """One shard as the picklable stripe entry shipped to a worker.
+
+    Gathered shards ship as plain code tables; factorized shards ship
+    whole — a :class:`~repro.ml.sparse.FactorizedMatrix` is already the
+    compact form (fact codes + small blocks), far smaller than the
+    gathered ``n×d`` table would be.
+    """
+    if isinstance(X, sparse.FactorizedMatrix):
+        return (int(index), X, np.asarray(y))
+    return (
+        int(index),
+        (
+            np.ascontiguousarray(X.codes, dtype=np.int64),
+            tuple(X.n_levels),
+            tuple(X.names),
+        ),
+        np.asarray(y),
+    )
+
+
 def _prepare(shard, engine: str):
     """Encode one shipped shard into the worker's resident form."""
-    index, codes, n_levels, names, y = shard
-    X = CategoricalMatrix(codes, n_levels, names, validate=False)
+    index, packed, y = shard
+    if isinstance(packed, sparse.FactorizedMatrix):
+        X = packed
+    else:
+        codes, n_levels, names = packed
+        X = CategoricalMatrix(codes, n_levels, names, validate=False)
     encoded = sparse.encode_features(X, engine)
     signed = np.where(np.asarray(y) > 0, 1.0, -1.0)
     return index, encoded, signed, y
@@ -153,7 +178,9 @@ class ProcessFISTAPasses:
         Any :class:`FeatureSource`; its natural shard order defines the
         reduction order.
     engine:
-        The model's sparse engine (``"implicit"``/``"dense"``).
+        The model's sparse engine (``"implicit"``/``"dense"``/
+        ``"factorized"`` — factorized stripes ship compact: fact codes
+        plus per-dimension blocks, never the gathered ``n×d`` table).
     workers:
         Worker processes; each holds ``~n_shards / workers`` encoded
         shards resident.
@@ -192,15 +219,7 @@ class ProcessFISTAPasses:
         for position, (index, X, y) in enumerate(source.iter_shards(None)):
             order.append(int(index))
             w = position % workers
-            stripes[w].append(
-                (
-                    int(index),
-                    np.ascontiguousarray(X.codes, dtype=np.int64),
-                    tuple(X.n_levels),
-                    tuple(X.names),
-                    np.asarray(y),
-                )
-            )
+            stripes[w].append(_pack_shard(index, X, y))
             stripe_indexes[w].append(int(index))
         self._order = order
         self._stripe_indexes = stripe_indexes

@@ -18,6 +18,18 @@ private registry; :meth:`merge_stats` drains every worker's delta into
 the parent server's registry, so ``ServerStats`` reads exactly as if
 every observation had happened in-process.
 
+Chunks cross the process boundary over the same shared-memory
+transport the training tier uses (:mod:`repro.parallel.shm`): the
+parent exports each merged chunk's columns into one named segment and
+queues only the :class:`~repro.parallel.shm.ColumnsHandle`; the worker
+attaches, serves the borrowed views, and releases the segment in a
+``finally`` — so a chunk's bytes are copied once (the parent's
+export), never pickled through a pipe.  Segment names are
+deterministic (``reprosrv<pid>w<worker>d<dispatch>a<attempt>``), so
+when a worker dies mid-flight the parent sweeps the one segment that
+worker could still hold before re-exporting the kept chunk under the
+next attempt's name.
+
 A predictor that dies is detected at dispatch, counted
 (``parallel.serving.worker_deaths``), respawned, and its chunk is
 re-dispatched — worker death is a retryable fault, not a failed batch
@@ -27,6 +39,7 @@ after a crash, results never do).
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import time
@@ -36,6 +49,12 @@ import numpy as np
 
 from repro.obs import MetricsRegistry
 from repro.parallel.prefetch import _resolve_context
+from repro.parallel.shm import (
+    export_columns,
+    import_columns,
+    release,
+    sweep,
+)
 
 __all__ = ["ProcessPredictorPool"]
 
@@ -59,7 +78,7 @@ def _merge_payloads(payloads: Sequence) -> dict:
 
 
 def _predictor_worker(
-    artifact, schema, cache_capacity: int, tasks, results
+    artifact, schema, cache_capacity: int, engine: str, tasks, results
 ) -> None:
     """Worker entry point: serve chunks through a private server.
 
@@ -80,14 +99,22 @@ def _predictor_worker(
             max_wait_s=None,
             background_flush=False,
             validate_fingerprint=False,
+            engine=engine,
         )
         while True:
             op, *args = tasks.get()
             if op == "stop":
                 return
             if op == "predict":
-                (merged,) = args
-                results.put(("ok", server._predict_merged(merged)))
+                (handle,) = args
+                segment, merged = import_columns(handle)
+                try:
+                    results.put(("ok", server._predict_merged(merged)))
+                finally:
+                    # The views die here; predictions are decoded
+                    # labels, so nothing in the result borrows the
+                    # segment.
+                    release(segment)
             elif op == "stats":
                 state = server.metrics.export_state()
                 server.metrics.reset()
@@ -119,6 +146,10 @@ class ProcessPredictorPool:
         in through :meth:`merge_stats`.
     start_method:
         As for :class:`~repro.parallel.ProcessPrefetchingSource`.
+    engine:
+        Serving engine built inside each worker's private server
+        (``"implicit"`` or ``"factorized"``), as for
+        :class:`~repro.serving.server.PredictionServer`.
     """
 
     def __init__(
@@ -129,10 +160,12 @@ class ProcessPredictorPool:
         cache_capacity: int = 8,
         registry: MetricsRegistry | None = None,
         start_method: str | None = None,
+        engine: str = "implicit",
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self.engine = engine
         self.metrics = registry if registry is not None else MetricsRegistry()
         self._dispatches = self.metrics.counter("parallel.serving.dispatches")
         self._deaths = self.metrics.counter("parallel.serving.worker_deaths")
@@ -144,6 +177,8 @@ class ProcessPredictorPool:
         self._results = [self._ctx.Queue() for _ in range(workers)]
         self._procs = [self._spawn(w) for w in range(workers)]
         self._closed = False
+        self._pid = os.getpid()
+        self._dispatch_serial = 0
         # One dispatch in flight at a time: chunks of a single batch
         # run in parallel across the pool; concurrent flush triggers
         # serialise here.
@@ -156,6 +191,7 @@ class ProcessPredictorPool:
                 self._artifact,
                 self._schema,
                 self._cache_capacity,
+                self.engine,
                 self._tasks[w],
                 self._results[w],
             ),
@@ -201,36 +237,64 @@ class ProcessPredictorPool:
             raise payload
         return payload
 
+    def _segment_name(self, w: int, dispatch: int, attempt: int) -> str:
+        """Deterministic per-chunk segment name, the sweep window's key.
+
+        One name per (worker, dispatch, attempt): the parent knows
+        exactly which segment a dead worker could still hold, so crash
+        cleanup is a one-name :func:`~repro.parallel.shm.sweep`."""
+        return f"reprosrv{self._pid}w{w}d{dispatch}a{attempt}"
+
+    def _dispatch_chunk(self, w: int, merged: dict, dispatch: int, attempt: int):
+        """Export one merged chunk and queue its handle to worker ``w``."""
+        handle = export_columns(
+            self._segment_name(w, dispatch, attempt), merged
+        )
+        self._tasks[w].put(("predict", handle))
+        return handle
+
     def predict(self, payloads: Sequence) -> list:
         """Predict a flushed batch's payload list, sharded by chunk.
 
         Payloads are split into up to ``workers`` contiguous chunks,
-        one per predictor; results come back in chunk order, so the
-        output order matches the single-process path exactly.
+        one per predictor; each chunk crosses as one shared-memory
+        segment; results come back in chunk order, so the output order
+        matches the single-process path exactly.
         """
         if self._closed:
             raise RuntimeError("ProcessPredictorPool is closed")
         with self._dispatch_lock:
+            dispatch = self._dispatch_serial
+            self._dispatch_serial += 1
             self._dispatches.inc()
             n_chunks = min(self.workers, len(payloads))
-            if n_chunks <= 1:
-                return self._call(0, "predict", _merge_payloads(list(payloads)))
             bounds = np.linspace(0, len(payloads), n_chunks + 1, dtype=int)
             chunks = [
                 (w, _merge_payloads(list(payloads[lo:hi])))
                 for w, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:]))
                 if hi > lo
             ]
-            for w, chunk in chunks:
-                self._tasks[w].put(("predict", chunk))
+            # Export every chunk before gathering any: all workers run
+            # their chunks concurrently.
+            inflight = [
+                (w, merged, self._dispatch_chunk(w, merged, dispatch, 0))
+                for w, merged in chunks
+            ]
             out: list = []
-            for w, chunk in chunks:
-                out.extend(self._gather(w, chunk))
+            for w, merged, handle in inflight:
+                out.extend(self._gather(w, merged, dispatch, handle))
             return out
 
-    def _gather(self, w: int, chunk) -> list:
+    def _gather(
+        self, w: int, merged: dict, dispatch: int, handle, attempt: int = 0
+    ) -> list:
         """Collect one dispatched chunk, re-running it on a respawned
-        worker if the predictor died mid-flight."""
+        worker if the predictor died mid-flight.
+
+        The parent kept the merged chunk, so redelivery is sweep the
+        dead worker's segment (it may have died before attaching, so
+        the name can still exist), re-export under the next attempt's
+        name, and gather again."""
         proc, results = self._procs[w], self._results[w]
         while True:
             try:
@@ -243,8 +307,18 @@ class ProcessPredictorPool:
                     kind, payload = results.get_nowait()
                     break
                 except queue.Empty:
+                    sweep([handle.segment])
                     self._respawn(w)
-                    return self._call(w, "predict", chunk)
+                    if attempt < 1:
+                        retry = self._dispatch_chunk(
+                            w, merged, dispatch, attempt + 1
+                        )
+                        return self._gather(
+                            w, merged, dispatch, retry, attempt + 1
+                        )
+                    raise RuntimeError(
+                        f"predictor worker {w} died twice running 'predict'"
+                    ) from None
         if kind == "error":
             raise payload
         return payload

@@ -1,12 +1,14 @@
 """Zero-copy shard transport over POSIX shared memory.
 
 A producer process exports one encoded shard — the ``(codes, labels)``
-pair of a :class:`~repro.ml.encoding.CategoricalMatrix` plus a small
-picklable header — into a named ``multiprocessing.shared_memory``
+pair of a :class:`~repro.ml.encoding.CategoricalMatrix`, or the compact
+layout of a :class:`~repro.ml.sparse.FactorizedMatrix` — plus a small
+picklable header into a named ``multiprocessing.shared_memory``
 segment; the consumer attaches and rebuilds the shard as numpy views
 *into the segment*, so the shard's bytes cross the process boundary
 exactly once (the producer's copy-in) instead of being pickled,
-piped, and unpickled.
+piped, and unpickled.  :func:`export_columns`/:func:`import_columns`
+apply the same contract to the serving pool's merged-payload chunks.
 
 Lifecycle contract (enforced by ``tests/test_parallel_prefetch.py``):
 
@@ -40,8 +42,19 @@ from multiprocessing import resource_tracker, shared_memory
 import numpy as np
 
 from repro.ml.encoding import CategoricalMatrix
+from repro.ml.sparse import FactorizedGroup, FactorizedMatrix
 
-__all__ = ["ShardHandle", "export_shard", "import_shard", "release", "sweep"]
+__all__ = [
+    "ShardHandle",
+    "FactorizedShardHandle",
+    "ColumnsHandle",
+    "export_shard",
+    "import_shard",
+    "export_columns",
+    "import_columns",
+    "release",
+    "sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -69,15 +82,95 @@ class ShardHandle:
         return self.codes_bytes + self.labels_bytes
 
 
+@dataclass(frozen=True)
+class FactorizedShardHandle:
+    """Header for an exported factorized shard segment.
+
+    The segment lays out, in order: the ``(n, d_fact)`` fact codes,
+    then per group its ``(n,)`` dimension rows followed by its
+    ``(n_dim_rows, d_R)`` code block (all int64), then the labels —
+    the same compact form :class:`~repro.ml.sparse.FactorizedMatrix`
+    holds in memory, so the segment is smaller than the gathered
+    shard's by roughly the dimension fan-out.
+    """
+
+    segment: str
+    index: int
+    n_rows: int
+    names: tuple[str, ...]
+    n_levels: tuple[int, ...]
+    fact_positions: tuple[int, ...]
+    #: Per group: ``(dimension name, feature positions, n_dim_rows)``.
+    groups: tuple[tuple[str, tuple[int, ...], int], ...]
+    labels_dtype: str
+
+    @property
+    def codes_bytes(self) -> int:
+        total = self.n_rows * len(self.fact_positions)
+        for _, positions, n_dim_rows in self.groups:
+            total += self.n_rows + n_dim_rows * len(positions)
+        return total * 8
+
+    @property
+    def labels_bytes(self) -> int:
+        return self.n_rows * np.dtype(self.labels_dtype).itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return self.codes_bytes + self.labels_bytes
+
+
+@dataclass(frozen=True)
+class ColumnsHandle:
+    """Header for an exported dict of named per-row column arrays.
+
+    The serving chunk transport: a merged payload (fact column name →
+    code vector) crosses as one segment holding each column's bytes in
+    declaration order.
+    """
+
+    segment: str
+    n_rows: int
+    #: Per column: ``(name, dtype string)``.
+    columns: tuple[tuple[str, str], ...]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(
+            self.n_rows * np.dtype(dtype).itemsize
+            for _, dtype in self.columns
+        )
+
+
+def _copy_into(shm: shared_memory.SharedMemory, arrays) -> None:
+    """Copy a sequence of arrays into the segment back to back."""
+    offset = 0
+    for array in arrays:
+        view = np.ndarray(
+            array.shape,
+            dtype=array.dtype,
+            buffer=shm.buf[offset : offset + array.nbytes],
+        )
+        view[...] = array
+        offset += array.nbytes
+        del view
+
+
 def export_shard(
-    segment: str, index: int, X: CategoricalMatrix, y: np.ndarray
-) -> ShardHandle:
+    segment: str, index: int, X, y: np.ndarray
+) -> "ShardHandle | FactorizedShardHandle":
     """Copy one encoded shard into a named segment; return its handle.
 
-    After this returns the producer holds no mapping: the handle alone
-    travels over the queue, and the consumer (or the parent's crash
-    sweep) is responsible for unlinking the segment.
+    Dispatches on the shard type: a gathered
+    :class:`~repro.ml.encoding.CategoricalMatrix` exports its code
+    table, a :class:`~repro.ml.sparse.FactorizedMatrix` exports its
+    factorized layout (see :class:`FactorizedShardHandle`).  After this
+    returns the producer holds no mapping: the handle alone travels
+    over the queue, and the consumer (or the parent's crash sweep) is
+    responsible for unlinking the segment.
     """
+    if isinstance(X, FactorizedMatrix):
+        return _export_factorized(segment, index, X, y)
     codes = np.ascontiguousarray(X.codes, dtype=np.int64)
     labels = np.ascontiguousarray(y)
     handle = ShardHandle(
@@ -116,17 +209,93 @@ def export_shard(
     return handle
 
 
-def import_shard(
-    handle: ShardHandle,
-) -> tuple[shared_memory.SharedMemory, CategoricalMatrix, np.ndarray]:
+def _factorized_arrays(X: FactorizedMatrix, labels: np.ndarray):
+    """The shard's arrays in segment order (codes first, labels last)."""
+    yield np.ascontiguousarray(X.fact_codes, dtype=np.int64)
+    for group in X.groups:
+        yield np.ascontiguousarray(group.dim_rows, dtype=np.int64)
+        yield np.ascontiguousarray(group.block, dtype=np.int64)
+    yield labels
+
+
+def _export_factorized(
+    segment: str, index: int, X: FactorizedMatrix, y: np.ndarray
+) -> FactorizedShardHandle:
+    labels = np.ascontiguousarray(y)
+    handle = FactorizedShardHandle(
+        segment=segment,
+        index=int(index),
+        n_rows=int(X.n_rows),
+        names=tuple(X.names),
+        n_levels=tuple(int(k) for k in X.n_levels),
+        fact_positions=tuple(int(p) for p in X.fact_positions),
+        groups=tuple(
+            (
+                group.name,
+                tuple(int(p) for p in group.positions),
+                int(group.n_dim_rows),
+            )
+            for group in X.groups
+        ),
+        labels_dtype=labels.dtype.str,
+    )
+    shm = shared_memory.SharedMemory(
+        name=segment, create=True, size=max(1, handle.nbytes)
+    )
+    try:
+        _copy_into(shm, _factorized_arrays(X, labels))
+    finally:
+        shm.close()
+        resource_tracker.unregister(shm._name, "shared_memory")
+    return handle
+
+
+def _import_factorized(
+    handle: FactorizedShardHandle,
+) -> tuple[shared_memory.SharedMemory, FactorizedMatrix, np.ndarray]:
+    shm = shared_memory.SharedMemory(name=handle.segment)
+    offset = 0
+
+    def view(shape, dtype):
+        nonlocal offset
+        size = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        array = np.ndarray(
+            shape, dtype=dtype, buffer=shm.buf[offset : offset + size]
+        )
+        offset += size
+        return array
+
+    fact_codes = view((handle.n_rows, len(handle.fact_positions)), np.int64)
+    groups = []
+    for name, positions, n_dim_rows in handle.groups:
+        dim_rows = view((handle.n_rows,), np.int64)
+        block = view((n_dim_rows, len(positions)), np.int64)
+        groups.append(FactorizedGroup(name, positions, dim_rows, block))
+    labels = view((handle.n_rows,), np.dtype(handle.labels_dtype))
+    X = FactorizedMatrix(
+        names=handle.names,
+        n_levels=handle.n_levels,
+        fact_positions=np.asarray(handle.fact_positions, dtype=np.int64),
+        fact_codes=fact_codes,
+        groups=tuple(groups),
+    )
+    return shm, X, labels
+
+
+def import_shard(handle):
     """Attach a handle's segment and rebuild the shard as views into it.
 
-    Returns ``(segment, X, y)``: the codes and labels are zero-copy
-    views borrowed from the segment — they become invalid the moment
+    Returns ``(segment, X, y)``: the arrays are zero-copy views
+    borrowed from the segment — they become invalid the moment
     :func:`release` is called, so consumers that keep a shard past the
     current iteration must copy it.  The codes were range-checked when
     the wrapped source produced them, so revalidation is skipped.
+    ``X`` is a :class:`~repro.ml.encoding.CategoricalMatrix` or a
+    :class:`~repro.ml.sparse.FactorizedMatrix`, matching what the
+    producer exported.
     """
+    if isinstance(handle, FactorizedShardHandle):
+        return _import_factorized(handle)
     shm = shared_memory.SharedMemory(name=handle.segment)
     codes = np.ndarray(
         (handle.n_rows, handle.n_features),
@@ -142,6 +311,70 @@ def import_shard(
     )
     X = CategoricalMatrix(codes, handle.n_levels, handle.names, validate=False)
     return shm, X, labels
+
+
+def export_columns(segment: str, columns: dict[str, np.ndarray]) -> ColumnsHandle:
+    """Copy a dict of equal-length column arrays into a named segment.
+
+    The serving pool's chunk transport: the parent exports a merged
+    payload's columns once, hands the :class:`ColumnsHandle` over the
+    worker's queue, and the worker rebuilds the dict as borrowed views.
+    Ownership transfers exactly as in :func:`export_shard` — the
+    producer unregisters after copy-in, the consumer (or the parent's
+    death sweep) unlinks.
+    """
+    arrays = {
+        name: np.ascontiguousarray(np.asarray(values))
+        for name, values in columns.items()
+    }
+    lengths = {array.shape[0] for array in arrays.values()} or {0}
+    if len(lengths) != 1:
+        raise ValueError(
+            f"columns must share one length, got {sorted(lengths)}"
+        )
+    for name, array in arrays.items():
+        if array.ndim != 1:
+            raise ValueError(
+                f"column {name!r} must be 1-D, got shape {array.shape}"
+            )
+    handle = ColumnsHandle(
+        segment=segment,
+        n_rows=int(next(iter(lengths))),
+        columns=tuple(
+            (name, array.dtype.str) for name, array in arrays.items()
+        ),
+    )
+    shm = shared_memory.SharedMemory(
+        name=segment, create=True, size=max(1, handle.nbytes)
+    )
+    try:
+        _copy_into(shm, arrays.values())
+    finally:
+        shm.close()
+        resource_tracker.unregister(shm._name, "shared_memory")
+    return handle
+
+
+def import_columns(
+    handle: ColumnsHandle,
+) -> tuple[shared_memory.SharedMemory, dict[str, np.ndarray]]:
+    """Attach a columns segment and rebuild the dict as borrowed views.
+
+    The views die with :func:`release`; consumers that need the data
+    past the current call must copy first.
+    """
+    shm = shared_memory.SharedMemory(name=handle.segment)
+    columns: dict[str, np.ndarray] = {}
+    offset = 0
+    for name, dtype in handle.columns:
+        size = handle.n_rows * np.dtype(dtype).itemsize
+        columns[name] = np.ndarray(
+            (handle.n_rows,),
+            dtype=np.dtype(dtype),
+            buffer=shm.buf[offset : offset + size],
+        )
+        offset += size
+    return shm, columns
 
 
 def release(shm: shared_memory.SharedMemory) -> None:

@@ -57,6 +57,8 @@ class ThroughputReport:
     batch_size: int
     rates: dict[tuple[str, str], float] = field(default_factory=dict)
     latency_ms: dict[tuple[str, str], dict] = field(default_factory=dict)
+    #: Serving engine the servers ran (``"implicit"`` or ``"factorized"``).
+    engine: str = "implicit"
 
     @property
     def speedup(self) -> float | None:
@@ -73,9 +75,13 @@ class ThroughputReport:
 
     def render(self) -> str:
         """Human-readable table of the measured rates."""
+        engine_note = (
+            "" if self.engine == "implicit" else f", {self.engine} engine"
+        )
         lines = [
             f"Serving throughput: {self.dataset}/{self.model_key}, "
-            f"{self.rows} requests, micro-batch size {self.batch_size}",
+            f"{self.rows} requests, micro-batch size {self.batch_size}"
+            f"{engine_note}",
             f"{'strategy':10s} {'path':8s} {'rows/s':>12s} "
             f"{'p50 ms':>8s} {'p95 ms':>8s} {'p99 ms':>8s}",
         ]
@@ -124,6 +130,7 @@ def serving_throughput(
     batch_size: int = 64,
     scale=None,
     strategies: tuple[JoinStrategy, ...] | None = None,
+    engine: str = "implicit",
 ) -> ThroughputReport:
     """Measure single-row and micro-batched serving rates per strategy.
 
@@ -142,13 +149,18 @@ def serving_throughput(
         Training scale profile (resolved via ``REPRO_SCALE`` if omitted).
     strategies:
         Strategies to compare; defaults to (JoinAll, NoJoin).
+    engine:
+        Serving engine for every server measured (see
+        :class:`~repro.serving.server.PredictionServer`); the
+        factorized engine requires a linear or NB ``model_key``.
     """
     from repro.experiments.runner import fit_pipeline
 
     if strategies is None:
         strategies = (join_all_strategy(), no_join_strategy())
     report = ThroughputReport(
-        dataset=dataset.name, model_key=model_key, rows=rows, batch_size=batch_size
+        dataset=dataset.name, model_key=model_key, rows=rows,
+        batch_size=batch_size, engine=engine,
     )
     for strategy in strategies:
         pipeline = fit_pipeline(dataset, model_key, strategy, scale=scale)
@@ -160,6 +172,7 @@ def serving_throughput(
                 dataset.schema,
                 max_batch_size=batch_size,
                 max_wait_s=None,
+                engine=engine,
             )
 
         server = fresh_server()
@@ -229,6 +242,8 @@ class ConcurrencyReport:
     #: ``"thread"`` (the in-process worker pool) or ``"process"``
     #: (:class:`repro.parallel.ProcessPredictorPool` sharding).
     tier: str = "thread"
+    #: Serving engine the servers ran (``"implicit"`` or ``"factorized"``).
+    engine: str = "implicit"
 
     def speedup(self, workers: int) -> float | None:
         """Concurrent-runtime throughput over the single-worker baseline."""
@@ -239,8 +254,11 @@ class ConcurrencyReport:
 
     def render(self) -> str:
         """Human-readable table of the measured rates."""
+        engine_note = (
+            "" if self.engine == "implicit" else f", {self.engine} engine"
+        )
         lines = [
-            f"Concurrent serving ({self.tier} tier): "
+            f"Concurrent serving ({self.tier} tier{engine_note}): "
             f"{self.dataset}/{self.model_key} "
             f"({self.strategy}), {self.rows} requests, "
             f"{self.clients} client threads, micro-batch size "
@@ -361,6 +379,7 @@ def concurrent_serving_throughput(
     scale=None,
     strategy: JoinStrategy | None = None,
     tier: str = "thread",
+    engine: str = "implicit",
 ) -> ConcurrencyReport:
     """Measure the concurrent serving runtime under K client threads.
 
@@ -401,7 +420,8 @@ def concurrent_serving_throughput(
 
     def fresh_server(**kwargs) -> PredictionServer:
         return PredictionServer(
-            artifact, dataset.schema, max_batch_size=batch_size, **kwargs
+            artifact, dataset.schema, max_batch_size=batch_size,
+            engine=engine, **kwargs
         )
 
     reference_server = fresh_server(max_wait_s=None, background_flush=False)
@@ -418,6 +438,7 @@ def concurrent_serving_throughput(
         max_wait_s=max_wait_s,
         cpu_count=os.cpu_count() or 1,
         tier=tier,
+        engine=engine,
     )
 
     baseline = fresh_server(max_wait_s=None, background_flush=False)

@@ -198,6 +198,16 @@ class PredictionServer:
         Default per-request deadline applied by :meth:`submit` when the
         caller passes none; ``None`` (the default) leaves requests
         without a deadline.
+    engine:
+        Serving execution engine.  ``"implicit"`` (the default) gathers
+        each request batch into a :class:`CategoricalMatrix` and calls
+        the artifact's own predict path.  ``"factorized"`` assembles
+        requests as :class:`~repro.ml.sparse.FactorizedMatrix` and
+        scores them through a :class:`~repro.serving.factorized.FactorizedScorer`
+        built at load time — every joined dimension's score
+        contribution is precomputed per dimension row, so a served
+        prediction does no per-row dimension-feature work (supported
+        for L1 logistic regression and categorical NB artifacts).
     """
 
     def __init__(
@@ -215,9 +225,15 @@ class PredictionServer:
         quarantine: bool = False,
         default_deadline_s: float | None = None,
         process_workers: int = 0,
+        engine: str = "implicit",
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if engine not in ("implicit", "factorized"):
+            raise ValueError(
+                f"serving engine must be 'implicit' or 'factorized', "
+                f"got {engine!r}"
+            )
         if process_workers < 0:
             raise ValueError(
                 f"process_workers must be >= 0, got {process_workers}"
@@ -245,6 +261,15 @@ class PredictionServer:
                 f"{list(self.features.feature_names)} but the artifact was "
                 f"trained on {list(artifact.feature_names)}"
             )
+        self.engine = engine
+        if engine == "factorized":
+            # Imported here to keep the default path free of the
+            # factorized machinery.
+            from repro.serving.factorized import FactorizedScorer
+
+            self._scorer = FactorizedScorer(artifact, self.features)
+        else:
+            self._scorer = None
         self._pool = (
             ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="predict-worker"
@@ -265,6 +290,7 @@ class PredictionServer:
                 workers=process_workers,
                 cache_capacity=cache_capacity,
                 registry=self.metrics,
+                engine=engine,
             )
         else:
             self._process_pool = None
@@ -394,11 +420,21 @@ class PredictionServer:
         }
 
     def _predict_merged(self, merged: Mapping[str, np.ndarray]) -> list:
-        """Assemble and predict one merged column-dict chunk."""
+        """Assemble and predict one merged column-dict chunk.
+
+        Under ``engine="factorized"`` the batch is assembled without
+        the dimension gather and scored through the load-time
+        :class:`~repro.serving.factorized.FactorizedScorer`.
+        """
         started = time.perf_counter()
-        X = self.features.assemble(merged)
-        assembled = time.perf_counter()
-        codes = self.artifact.predict_codes(X)
+        if self._scorer is not None:
+            X = self.features.assemble_factorized(merged)
+            assembled = time.perf_counter()
+            codes = self._scorer.predict_codes(X)
+        else:
+            X = self.features.assemble(merged)
+            assembled = time.perf_counter()
+            codes = self.artifact.predict_codes(X)
         finished = time.perf_counter()
         self._assemble_seconds.observe(assembled - started)
         self._predict_seconds.observe(finished - assembled)

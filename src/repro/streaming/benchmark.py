@@ -36,7 +36,7 @@ from pathlib import Path
 
 from repro.core.strategies import join_all_strategy
 from repro.data.encoder import ShardEncoder
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, machine_info
 from repro.datasets.synthetic import (
     DIM_NAME,
     FK_NAME,
@@ -177,6 +177,7 @@ class StreamingScaleReport:
         payload = asdict(self)
         payload["streaming_growth"] = self.streaming_growth()
         payload["row_growth"] = self.row_growth()
+        payload["machine"] = machine_info()
         path.write_text(json.dumps(payload, indent=2) + "\n")
         return path
 

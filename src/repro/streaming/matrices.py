@@ -58,6 +58,13 @@ class StreamingMatrices(FeatureSource):
         streams (e.g. one experiment's train/validation/test splits),
         so each dimension's index is built once per run, not once per
         split.  Built fresh when omitted.
+    engine:
+        ``"implicit"``/``"dense"`` (default) assemble each shard as a
+        gathered :class:`~repro.ml.encoding.CategoricalMatrix`;
+        ``"factorized"`` assembles
+        :class:`~repro.ml.sparse.FactorizedMatrix` shards through
+        :meth:`~repro.data.encoder.ShardEncoder.encode_shard_factorized`,
+        skipping the per-row dimension gather entirely.
     """
 
     def __init__(
@@ -65,9 +72,13 @@ class StreamingMatrices(FeatureSource):
         sharded: ShardedDataset,
         strategy: JoinStrategy,
         encoder: ShardEncoder | None = None,
+        engine: str = "implicit",
     ):
+        from repro.ml.sparse import check_engine
+
         self.sharded = sharded
         self.strategy = strategy
+        self.engine = check_engine(engine)
         self.schema = sharded.schema
         if encoder is None:
             encoder = ShardEncoder(self.schema, strategy)
@@ -124,6 +135,8 @@ class StreamingMatrices(FeatureSource):
     def _assemble(self, shard: FactShard) -> tuple[CategoricalMatrix, np.ndarray]:
         """Encode one fact shard into ``(X, y)`` via the shared encoder."""
         try:
+            if self.engine == "factorized":
+                return self.encoder.encode_shard_factorized(shard.fact)
             return self.encoder.encode_shard(shard.fact)
         except ReferentialIntegrityError as error:
             raise ReferentialIntegrityError(
